@@ -1,0 +1,76 @@
+"""Ablation — membership group size *g*.
+
+The paper fixes 20 nodes per network/channel.  This ablation holds the
+cluster at 96 nodes and varies the group size (topology networks) to show
+the bandwidth trade-off the Section 4 analysis predicts: aggregate
+bandwidth ~ O(s f g n), so halving the group size halves steady-state
+traffic, while detection time is unaffected (it only depends on
+``max_loss`` and the heartbeat period).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.analysis import AnalysisParams, HierarchicalModel
+from repro.metrics import FailureExperiment
+
+TOTAL = 96
+SHAPES = [(12, 8), (6, 16), (3, 32)]  # (networks, hosts per network)
+
+
+def run_sweep():
+    out = {}
+    for networks, per in SHAPES:
+        exp = FailureExperiment(
+            "hierarchical",
+            networks,
+            per,
+            seed=6,
+            warmup=20.0,
+            bandwidth_window=10.0,
+            observe=40.0,
+        )
+        out[per] = exp.run()
+    return out
+
+
+def test_ablation_group_size(one_shot):
+    results = one_shot(run_sweep)
+
+    rows = []
+    for networks, per in SHAPES:
+        res = results[per]
+        model = HierarchicalModel(AnalysisParams(group_size=per))
+        rows.append(
+            (
+                per,
+                networks,
+                f"{res.bandwidth.aggregate_rate / 1e3:.1f}",
+                f"{model.aggregate_bandwidth(TOTAL) / 1e3:.1f}",
+                f"{res.detection:.2f}",
+                f"{res.convergence:.2f}",
+            )
+        )
+    print_table(
+        f"Ablation: group size at n={TOTAL} (hierarchical)",
+        ["group size", "groups", "measured KB/s", "model KB/s", "detect (s)", "converge (s)"],
+        rows,
+    )
+
+    # Bandwidth grows ~linearly with group size at fixed n.
+    ratio = results[32].bandwidth.aggregate_rate / results[8].bandwidth.aggregate_rate
+    assert 2.5 < ratio < 5.5  # ideal (g-1) scaling gives 31/7 = 4.4
+
+    # Detection and convergence are group-size independent.
+    for per in (8, 16, 32):
+        assert 5.0 <= results[per].detection <= 7.0
+        assert results[per].convergence - results[per].detection < 2.0
+
+    # The analytical model predicts the measured bandwidth within 30%.
+    for networks, per in SHAPES:
+        model = HierarchicalModel(AnalysisParams(group_size=per))
+        assert results[per].bandwidth.aggregate_rate == pytest.approx(
+            model.aggregate_bandwidth(TOTAL), rel=0.3
+        )

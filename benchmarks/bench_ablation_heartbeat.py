@@ -1,0 +1,109 @@
+"""Ablation — heartbeat frequency vs. detection time (the BDT trade-off).
+
+Section 4 frames the design space as a bandwidth-detection-time product:
+beating twice as often halves detection time but doubles traffic, leaving
+BDT invariant; raising ``max_loss`` trades detection latency for loss
+tolerance at no bandwidth cost.  This bench measures both effects on the
+real protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.core import HierarchicalConfig
+from repro.metrics import FailureExperiment
+
+PERIODS = [0.5, 1.0, 2.0]
+MAX_LOSSES = [3, 5, 8]
+
+
+def run_sweep():
+    out = {}
+    for period in PERIODS:
+        cfg = HierarchicalConfig(heartbeat_period=period)
+        exp = FailureExperiment(
+            "hierarchical",
+            3,
+            10,
+            seed=7,
+            warmup=25.0,
+            bandwidth_window=10.0,
+            observe=60.0,
+            config=cfg,
+        )
+        out[("period", period)] = exp.run()
+    for max_loss in MAX_LOSSES:
+        cfg = HierarchicalConfig(max_loss=max_loss)
+        exp = FailureExperiment(
+            "hierarchical",
+            3,
+            10,
+            seed=7,
+            warmup=25.0,
+            bandwidth_window=10.0,
+            observe=60.0,
+            config=cfg,
+        )
+        out[("max_loss", max_loss)] = exp.run()
+    return out
+
+
+def test_ablation_heartbeat_tradeoff(one_shot):
+    results = one_shot(run_sweep)
+
+    rows = []
+    for period in PERIODS:
+        res = results[("period", period)]
+        bdt = res.bandwidth.aggregate_rate * res.detection
+        rows.append(
+            (
+                f"{period:.1f}",
+                f"{res.bandwidth.aggregate_rate / 1e3:.1f}",
+                f"{res.detection:.2f}",
+                f"{bdt / 1e3:.0f}",
+            )
+        )
+    print_table(
+        "Ablation: heartbeat period (max_loss=5, 30 nodes)",
+        ["period (s)", "bandwidth KB/s", "detect (s)", "BDT (KB)"],
+        rows,
+    )
+    rows = []
+    for max_loss in MAX_LOSSES:
+        res = results[("max_loss", max_loss)]
+        rows.append(
+            (
+                max_loss,
+                f"{res.bandwidth.aggregate_rate / 1e3:.1f}",
+                f"{res.detection:.2f}",
+            )
+        )
+    print_table(
+        "Ablation: max tolerated losses (period=1 s, 30 nodes)",
+        ["max_loss", "bandwidth KB/s", "detect (s)"],
+        rows,
+    )
+
+    # Faster heartbeats: proportionally faster detection, more bandwidth.
+    d05 = results[("period", 0.5)]
+    d20 = results[("period", 2.0)]
+    assert d05.detection < d20.detection / 2.5
+    assert d05.bandwidth.aggregate_rate > 3 * d20.bandwidth.aggregate_rate
+
+    # BDT is roughly invariant under the frequency knob (within 2x).
+    bdts = [
+        results[("period", p)].bandwidth.aggregate_rate * results[("period", p)].detection
+        for p in PERIODS
+    ]
+    assert max(bdts) / min(bdts) < 2.0
+
+    # max_loss shifts detection linearly at ~constant bandwidth.
+    b3 = results[("max_loss", 3)]
+    b8 = results[("max_loss", 8)]
+    assert 3.0 <= b3.detection <= 4.5
+    assert 8.0 <= b8.detection <= 9.5
+    assert b8.bandwidth.aggregate_rate == pytest.approx(
+        b3.bandwidth.aggregate_rate, rel=0.15
+    )

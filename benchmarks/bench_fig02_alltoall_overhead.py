@@ -1,0 +1,74 @@
+"""Figure 2 — "All-to-all approach is not scalable."
+
+The paper varies the number of emulated heartbeat senders on one dual
+P-III machine and plots (a) CPU load and (b) received multicast packets
+per second against cluster size up to 4000 nodes.
+
+Reproduction: the per-packet cost model (calibrated to the testbed's
+endpoints) generates both panels for the full 0-4000 range, and a set of
+actual all-to-all simulations at small sizes validates that the simulated
+packet arrival rate matches the model's linear prediction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.analysis import AllToAllOverheadModel
+from repro.metrics import make_scheme_cluster
+
+SIZES = [500, 1000, 1500, 2000, 2500, 3000, 3500, 4000]
+SIM_SIZES = [20, 40, 80]
+
+
+def simulate_packet_rates(sizes):
+    """Measured heartbeats/s received per node in real all-to-all runs."""
+    rates = {}
+    for n in sizes:
+        net, hosts, nodes = make_scheme_cluster("all-to-all", 1, n, seed=1)
+        net.run(until=10.0)
+        net.meter.reset()
+        net.run(until=20.0)
+        rates[n] = net.meter.packet_rate(hosts[0], "rx", duration=10.0)
+    return rates
+
+
+def test_fig02_cpu_and_bandwidth_overhead(one_shot):
+    model = AllToAllOverheadModel()
+    measured = one_shot(simulate_packet_rates, SIM_SIZES)
+
+    rows = []
+    for n in SIZES:
+        rows.append(
+            (
+                n,
+                f"{model.cpu_percent(n):.2f}",
+                f"{model.packets_per_second(n):.0f}",
+                f"{model.bandwidth_bytes_per_second(n) / 1e6:.2f}",
+                f"{100 * model.fast_ethernet_fraction(n):.1f}%",
+            )
+        )
+    print_table(
+        "Fig. 2: all-to-all overhead vs cluster size (1024 B heartbeats @ 1 Hz)",
+        ["nodes", "CPU %", "rx pkts/s", "rx MB/s", "FastEth share"],
+        rows,
+    )
+    print_table(
+        "Fig. 2 validation: simulated vs model packet rate",
+        ["nodes", "simulated pkts/s", "model pkts/s"],
+        [
+            (n, f"{measured[n]:.1f}", f"{model.packets_per_second(n):.1f}")
+            for n in SIM_SIZES
+        ],
+    )
+
+    # Shape: both panels are linear in n; paper endpoints hold.
+    assert model.cpu_percent(4000) == pytest.approx(4.5, rel=0.05)
+    assert model.packets_per_second(4000) == pytest.approx(4000, rel=0.01)
+    # ~4 MB/s at 4000 nodes = 32% of a Fast Ethernet link.
+    assert model.fast_ethernet_fraction(4000) == pytest.approx(0.32, rel=0.05)
+    # The simulation reproduces the model's arrival rate (the linearity is
+    # real, not assumed).
+    for n in SIM_SIZES:
+        assert measured[n] == pytest.approx(model.packets_per_second(n), rel=0.1)

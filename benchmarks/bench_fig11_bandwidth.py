@@ -1,0 +1,102 @@
+"""Figure 11 — Bandwidth consumption of the three schemes.
+
+The paper measures aggregated incoming heartbeat bandwidth while scaling
+from 20 to 100 nodes (1 to 5 networks of 20).  Expected shape: the
+hierarchical scheme grows ~linearly and is lowest from 40 nodes on, while
+all-to-all and gossip grow ~quadratically; at 20 nodes (a single group)
+all three consume about the same.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.metrics import FailureExperiment, SCHEMES
+
+NETWORKS = [1, 2, 3, 4, 5]
+HOSTS_PER_NETWORK = 20
+
+
+def run_sweep():
+    results = {}
+    for scheme in sorted(SCHEMES):
+        for networks in NETWORKS:
+            exp = FailureExperiment(
+                scheme,
+                networks,
+                HOSTS_PER_NETWORK,
+                seed=1,
+                warmup=20.0,
+                bandwidth_window=10.0,
+                observe=0.0,
+            )
+            res = exp.run()
+            results[(scheme, networks * HOSTS_PER_NETWORK)] = res.bandwidth
+    return results
+
+
+def test_fig11_bandwidth_consumption(one_shot):
+    results = one_shot(run_sweep)
+
+    sizes = [n * HOSTS_PER_NETWORK for n in NETWORKS]
+    rows = []
+    for n in sizes:
+        rows.append(
+            (
+                n,
+                *(
+                    f"{results[(scheme, n)].aggregate_rate / 1e6:.3f}"
+                    for scheme in sorted(SCHEMES)
+                ),
+            )
+        )
+    print_table(
+        "Fig. 11: aggregated bandwidth (MB/s) vs number of nodes",
+        ["nodes"] + sorted(SCHEMES),
+        rows,
+    )
+    per_node_rows = [
+        (
+            n,
+            *(
+                f"{results[(scheme, n)].per_node_rate / 1e3:.2f}"
+                for scheme in sorted(SCHEMES)
+            ),
+        )
+        for n in sizes
+    ]
+    print_table(
+        "Fig. 11 (derived): per-node bandwidth (KB/s)",
+        ["nodes"] + sorted(SCHEMES),
+        per_node_rows,
+    )
+
+    agg = {key: stats.aggregate_rate for key, stats in results.items()}
+
+    # At 20 nodes all schemes are within ~2x of each other (single group).
+    base = [agg[(s, 20)] for s in SCHEMES]
+    assert max(base) / min(base) < 2.0
+
+    # Hierarchical is the cheapest at every larger size.
+    for n in sizes[1:]:
+        assert agg[("hierarchical", n)] == min(agg[(s, n)] for s in SCHEMES)
+
+    # Growth 20 -> 100: ~linear (about 5x) for hierarchical, ~quadratic
+    # (about 25x) for the other two.
+    hier_growth = agg[("hierarchical", 100)] / agg[("hierarchical", 20)]
+    assert 3.5 < hier_growth < 8.0
+    for scheme in ("all-to-all", "gossip"):
+        growth = agg[(scheme, 100)] / agg[(scheme, 20)]
+        assert growth > 15.0, f"{scheme} grew only {growth:.1f}x"
+
+    # Per-node bandwidth stays ~constant for hierarchical, grows ~5x for
+    # the others (the paper's scalability argument).
+    hier_pn = results[("hierarchical", 100)].per_node_rate / results[
+        ("hierarchical", 20)
+    ].per_node_rate
+    assert hier_pn < 1.6
+    a2a_pn = results[("all-to-all", 100)].per_node_rate / results[
+        ("all-to-all", 20)
+    ].per_node_rate
+    assert a2a_pn > 3.5

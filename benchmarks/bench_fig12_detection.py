@@ -1,0 +1,69 @@
+"""Figure 12 — Failure detection time of the three schemes.
+
+The paper kills the membership daemon on one node and reports the earliest
+time any survivor records the failure, for 20-100 nodes.  Expected shape:
+the hierarchical and all-to-all schemes share a near-constant detection
+time of about MAX_LOSS x period (~5-6 s); gossip is slowest everywhere and
+grows with cluster size; gossip is already worst at 20 nodes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.metrics import FailureExperiment, SCHEMES
+from repro.protocols import ProtocolConfig
+
+NETWORKS = [1, 2, 3, 4, 5]
+HOSTS_PER_NETWORK = 20
+
+
+def run_sweep():
+    results = {}
+    for scheme in sorted(SCHEMES):
+        for networks in NETWORKS:
+            exp = FailureExperiment(
+                scheme,
+                networks,
+                HOSTS_PER_NETWORK,
+                seed=2,
+                warmup=25.0,
+                observe=60.0,
+                measure_bandwidth=False,
+            )
+            res = exp.run()
+            assert res.detection is not None, (scheme, networks)
+            results[(scheme, networks * HOSTS_PER_NETWORK)] = res.detection
+    return results
+
+
+def test_fig12_failure_detection_time(one_shot):
+    detection = one_shot(run_sweep)
+
+    sizes = [n * HOSTS_PER_NETWORK for n in NETWORKS]
+    print_table(
+        "Fig. 12: failure detection time (s) vs number of nodes",
+        ["nodes"] + sorted(SCHEMES),
+        [
+            (n, *(f"{detection[(s, n)]:.2f}" for s in sorted(SCHEMES)))
+            for n in sizes
+        ],
+    )
+
+    cfg = ProtocolConfig()
+    for n in sizes:
+        # Heartbeat schemes detect in ~fail_timeout, independent of size.
+        for scheme in ("all-to-all", "hierarchical"):
+            assert cfg.fail_timeout <= detection[(scheme, n)] <= cfg.fail_timeout + 2.0
+        # Gossip is the slowest at every size (paper: "It also has the
+        # longest detection time when there are 20 nodes").
+        assert detection[("gossip", n)] > detection[("all-to-all", n)]
+        assert detection[("gossip", n)] > detection[("hierarchical", n)]
+
+    # Gossip detection grows with n; heartbeat schemes stay flat.
+    assert detection[("gossip", 100)] > detection[("gossip", 20)] + 1.0
+    spread = max(detection[("hierarchical", n)] for n in sizes) - min(
+        detection[("hierarchical", n)] for n in sizes
+    )
+    assert spread < 2.0

@@ -1,0 +1,94 @@
+"""Figure 13 — View convergence time of the three schemes.
+
+Convergence = the *latest* time any survivor records the failure.  Expected
+shape: hierarchical tracks all-to-all closely (leaders flood the update in
+milliseconds once detected), both stay near-constant in cluster size, and
+gossip is the largest everywhere and grows with the number of nodes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.metrics import FailureExperiment, SCHEMES
+from repro.protocols import ProtocolConfig
+
+NETWORKS = [1, 2, 3, 4, 5]
+HOSTS_PER_NETWORK = 20
+
+
+def run_sweep():
+    results = {}
+    for scheme in sorted(SCHEMES):
+        for networks in NETWORKS:
+            exp = FailureExperiment(
+                scheme,
+                networks,
+                HOSTS_PER_NETWORK,
+                seed=3,
+                warmup=25.0,
+                observe=90.0,
+                measure_bandwidth=False,
+            )
+            res = exp.run()
+            assert res.convergence is not None, (scheme, networks)
+            results[(scheme, networks * HOSTS_PER_NETWORK)] = res
+    return results
+
+
+def test_fig13_view_convergence_time(one_shot):
+    results = one_shot(run_sweep)
+
+    sizes = [n * HOSTS_PER_NETWORK for n in NETWORKS]
+    print_table(
+        "Fig. 13: view convergence time (s) vs number of nodes",
+        ["nodes"] + sorted(SCHEMES),
+        [
+            (n, *(f"{results[(s, n)].convergence:.2f}" for s in sorted(SCHEMES)))
+            for n in sizes
+        ],
+    )
+    print_table(
+        "Fig. 13 (derived): convergence - detection gap (s)",
+        ["nodes"] + sorted(SCHEMES),
+        [
+            (
+                n,
+                *(
+                    f"{results[(s, n)].convergence - results[(s, n)].detection:.3f}"
+                    for s in sorted(SCHEMES)
+                ),
+            )
+            for n in sizes
+        ],
+    )
+
+    cfg = ProtocolConfig()
+    for n in sizes:
+        conv = {s: results[(s, n)].convergence for s in SCHEMES}
+        # Gossip is the largest at every size.
+        assert conv["gossip"] > conv["all-to-all"]
+        assert conv["gossip"] > conv["hierarchical"]
+        # Hierarchical matches all-to-all within ~2 heartbeat periods.
+        assert abs(conv["hierarchical"] - conv["all-to-all"]) < 2 * cfg.heartbeat_period
+        # Once a failure is detected the hierarchical tree floods the
+        # update quickly: convergence - detection stays within the
+        # heartbeat-phase spread, far below gossip's lag.
+        hier_gap = results[("hierarchical", n)].convergence - results[
+            ("hierarchical", n)
+        ].detection
+        assert hier_gap < 2 * cfg.heartbeat_period
+
+    # Gossip convergence lags far behind its own detection (independent
+    # per-node timeouts spread by epidemic propagation) and ends up around
+    # 4x the heartbeat schemes at 100 nodes; the other two stay ~flat.
+    for n in sizes:
+        gap = results[("gossip", n)].convergence - results[("gossip", n)].detection
+        assert gap > 2.0
+    assert results[("gossip", 100)].convergence > 3 * results[("hierarchical", 100)].convergence
+    for scheme in ("all-to-all", "hierarchical"):
+        spread = max(results[(scheme, n)].convergence for n in sizes) - min(
+            results[(scheme, n)].convergence for n in sizes
+        )
+        assert spread < 2.5

@@ -1,0 +1,99 @@
+"""Section 4 — Scalability analysis (detection/convergence/BDT/BCT).
+
+The paper's analysis section has no figure, but its conclusions are the
+quantitative backbone of the comparison: with fixed per-node frequency the
+hierarchical scheme's bandwidth is O(n) versus O(n^2) for the others, and
+it has the lowest bandwidth-detection-time and bandwidth-convergence-time
+products.  This bench evaluates the closed forms over 20..4096 nodes and
+cross-validates the analytical bandwidth against the simulator at the
+sizes the testbed could reach.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.analysis import MODELS, AnalysisParams
+from repro.metrics import FailureExperiment
+
+SIZES = [20, 64, 128, 256, 512, 1024, 2048, 4096]
+
+
+def simulate_bandwidth(scheme: str, networks: int) -> float:
+    exp = FailureExperiment(
+        scheme, networks, 20, seed=5, warmup=20.0, bandwidth_window=10.0, observe=0.0
+    )
+    return exp.run().bandwidth.aggregate_rate
+
+
+def test_sec4_scalability_analysis(one_shot):
+    params = AnalysisParams()
+    models = {name: cls(params) for name, cls in MODELS.items()}
+
+    rows = []
+    for n in SIZES:
+        row = [n]
+        for name in sorted(models):
+            m = models[name]
+            row.append(f"{m.aggregate_bandwidth(n) / 1e6:.2f}")
+            row.append(f"{m.detection_time(n):.1f}")
+            row.append(f"{m.bdt(n) / 1e6:.1f}")
+        rows.append(tuple(row))
+    header = ["nodes"]
+    for name in sorted(models):
+        header += [f"{name} MB/s", f"{name} det(s)", f"{name} BDT(MB)"]
+    print_table("Sec. 4: bandwidth / detection / BDT (fixed 1 Hz heartbeats)", header, rows)
+
+    print_table(
+        "Sec. 4: bandwidth-convergence-time products (MB)",
+        ["nodes"] + sorted(models),
+        [
+            (n, *(f"{models[s].bct(n) / 1e6:.1f}" for s in sorted(models)))
+            for n in SIZES
+        ],
+    )
+
+    # The paper's conclusions, as assertions:
+    for n in SIZES:
+        bdts = {name: m.bdt(n) for name, m in models.items()}
+        bcts = {name: m.bct(n) for name, m in models.items()}
+        assert bdts["hierarchical"] == min(bdts.values())
+        assert bcts["hierarchical"] == min(bcts.values())
+    # Asymptotics: quadratic vs quadratic-log vs linear.
+    for name, lo, hi in (
+        ("all-to-all", 3.9, 4.2),
+        ("gossip", 3.9, 4.2),
+        ("hierarchical", 1.9, 2.1),
+    ):
+        growth = models[name].aggregate_bandwidth(4096) / models[name].aggregate_bandwidth(2048)
+        assert lo < growth < hi, (name, growth)
+    assert models["gossip"].bdt(4096) / models["gossip"].bdt(2048) > models[
+        "all-to-all"
+    ].bdt(4096) / models["all-to-all"].bdt(2048)
+
+    # Cross-validation: the analytical bandwidth matches the simulator
+    # within 25% at 40 and 100 nodes for every scheme.
+    measured = one_shot(
+        lambda: {
+            (scheme, networks * 20): simulate_bandwidth(scheme, networks)
+            for scheme in sorted(MODELS)
+            for networks in (2, 5)
+        }
+    )
+    print_table(
+        "Sec. 4 validation: simulated vs analytical aggregate bandwidth (KB/s)",
+        ["scheme", "nodes", "simulated", "model"],
+        [
+            (
+                scheme,
+                n,
+                f"{measured[(scheme, n)] / 1e3:.1f}",
+                f"{models[scheme].aggregate_bandwidth(n) / 1e3:.1f}",
+            )
+            for (scheme, n) in sorted(measured)
+        ],
+    )
+    for (scheme, n), value in measured.items():
+        model_value = models[scheme].aggregate_bandwidth(n)
+        assert value == pytest.approx(model_value, rel=0.25), (scheme, n)

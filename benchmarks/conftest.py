@@ -1,0 +1,40 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every ``bench_*`` module regenerates one table/figure from the paper's
+evaluation: it runs the experiment under ``pytest-benchmark`` (so wall-time
+regressions are tracked), prints the same rows/series the paper plots, and
+asserts the qualitative *shape* (who wins, by roughly what factor, where
+crossovers fall) — absolute values come from a simulator, not the authors'
+2005 testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import pytest
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Render one figure's data as an aligned text table."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(header))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+@pytest.fixture
+def one_shot(benchmark):
+    """Run an expensive simulation exactly once under the benchmark timer."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

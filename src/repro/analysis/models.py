@@ -1,0 +1,176 @@
+"""Section 4 scalability analysis.
+
+The paper derives, for each scheme, the failure-detection time, the view-
+convergence time, and two figures of merit combining them with traffic:
+the **bandwidth - detection time product** (BDT) and **bandwidth -
+convergence time product** (BCT) — "protocols with lower BDT values are
+better, because they use less time to detect a failure with a fixed
+bandwidth".
+
+We evaluate the models in the *fixed-frequency* regime the evaluation
+uses ("In practice, each node often fixes its multicast frequency"): every
+node sends one heartbeat/gossip per ``1/freq`` seconds, detection follows
+from ``max_loss`` missed beats, and the bandwidth follows from the scheme's
+message sizes:
+
+================  =====================  ==========================
+scheme            aggregate bandwidth    detection time
+================  =====================  ==========================
+all-to-all        O(s f n^2)             k / f (constant)
+gossip            O(s f n^2)             O(log n) / f
+hierarchical      O(s f g n)             k / f (constant)
+================  =====================  ==========================
+
+so the BDT products are O(k s n^2), O(k s n^2 log n) and O(k s g n)
+respectively — the hierarchical scheme is the most scalable, as the paper
+concludes.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Type
+
+from repro.protocols.gossip import gossip_fail_time
+
+__all__ = [
+    "AnalysisParams",
+    "SchemeModel",
+    "AllToAllModel",
+    "GossipModel",
+    "HierarchicalModel",
+    "MODELS",
+]
+
+
+@dataclass(frozen=True)
+class AnalysisParams:
+    """Symbols of the Section 4 analysis.
+
+    Defaults are the evaluation's settings: s = 228 bytes, one packet per
+    second, k = 5 missed heartbeats, groups of g = 20 nodes, 0.1 % gossip
+    mistake probability, and a sub-millisecond in-cluster hop time.
+    """
+
+    member_size: int = 228  # s
+    freq: float = 1.0  # heartbeats / second
+    max_loss: int = 5  # k
+    group_size: int = 20  # g
+    gossip_fanout: int = 1
+    gossip_mistake_prob: float = 0.001
+    hop_latency: float = 0.001  # update transmission time per tree hop
+
+
+class SchemeModel(ABC):
+    """Closed-form model of one scheme at cluster size *n*."""
+
+    name: str
+
+    def __init__(self, params: AnalysisParams | None = None) -> None:
+        self.params = params if params is not None else AnalysisParams()
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def aggregate_bandwidth(self, n: int) -> float:
+        """Summed receive bandwidth over all nodes, bytes/second."""
+
+    @abstractmethod
+    def detection_time(self, n: int) -> float:
+        """Seconds from a failure to its first detection."""
+
+    def convergence_time(self, n: int) -> float:
+        """Seconds until every node's view reflects the failure.
+
+        Defaults to the detection time — in the flat and gossip schemes
+        "all nodes maintain their views independently".
+        """
+        return self.detection_time(n)
+
+    # ------------------------------------------------------------------
+    def bdt(self, n: int) -> float:
+        """Bandwidth - detection time product (bytes)."""
+        return self.aggregate_bandwidth(n) * self.detection_time(n)
+
+    def bct(self, n: int) -> float:
+        """Bandwidth - convergence time product (bytes)."""
+        return self.aggregate_bandwidth(n) * self.convergence_time(n)
+
+    def per_node_bandwidth(self, n: int) -> float:
+        return self.aggregate_bandwidth(n) / n if n else 0.0
+
+
+class AllToAllModel(SchemeModel):
+    """Every node multicasts an s-byte heartbeat to all n-1 others."""
+
+    name = "all-to-all"
+
+    def aggregate_bandwidth(self, n: int) -> float:
+        p = self.params
+        return p.freq * n * (n - 1) * p.member_size
+
+    def detection_time(self, n: int) -> float:
+        p = self.params
+        return p.max_loss / p.freq
+
+
+class GossipModel(SchemeModel):
+    """Each gossip message carries the full n-entry view (n x s bytes)."""
+
+    name = "gossip"
+
+    def aggregate_bandwidth(self, n: int) -> float:
+        p = self.params
+        return p.freq * p.gossip_fanout * n * (n * p.member_size)
+
+    def detection_time(self, n: int) -> float:
+        p = self.params
+        return gossip_fail_time(n, 1.0 / p.freq, p.gossip_mistake_prob)
+
+    def convergence_time(self, n: int) -> float:
+        # Every node times the failure out independently, offset by the
+        # epidemic spread (~log2 n rounds) of the last counter increments.
+        p = self.params
+        return self.detection_time(n) + 0.5 * math.log2(max(n, 2)) / p.freq
+
+
+class HierarchicalModel(SchemeModel):
+    """Groups of at most g nodes; a (n-1)/(g-1)-group tree of height log_g n."""
+
+    name = "hierarchical"
+
+    def num_groups(self, n: int) -> float:
+        g = self.params.group_size
+        if n <= g:
+            return 1.0
+        return (n - 1) / (g - 1)
+
+    def tree_height(self, n: int) -> int:
+        g = self.params.group_size
+        return max(1, math.ceil(math.log(max(n, 2), g)))
+
+    def aggregate_bandwidth(self, n: int) -> float:
+        # Each group of (at most) g members exchanges g(g-1) heartbeats of
+        # s bytes per cycle: O(s f g n) in total.
+        p = self.params
+        g = min(p.group_size, n)
+        return p.freq * self.num_groups(n) * g * (g - 1) * p.member_size
+
+    def detection_time(self, n: int) -> float:
+        p = self.params
+        return p.max_loss / p.freq
+
+    def convergence_time(self, n: int) -> float:
+        # Detection plus the update's trip up to the root and down every
+        # subtree: 2 x (height - 1) hops; a single-group cluster (height 1)
+        # needs no propagation at all, every member detects directly.
+        hops = 2 * (self.tree_height(n) - 1)
+        return self.detection_time(n) + hops * self.params.hop_latency
+
+
+MODELS: Dict[str, Type[SchemeModel]] = {
+    "all-to-all": AllToAllModel,
+    "gossip": GossipModel,
+    "hierarchical": HierarchicalModel,
+}

@@ -1,0 +1,11 @@
+"""Example applications built on the membership service.
+
+:mod:`repro.apps.search` reproduces the paper's prototype document search
+engine (Fig. 1): protocol gateways, partitioned/replicated index servers
+and document servers, random-polling load balancing, and (for the Fig. 14
+experiment) multi-data-center failover through membership proxies.
+"""
+
+from repro.apps.search import SearchCluster, SearchDeployment, SearchWorkload
+
+__all__ = ["SearchCluster", "SearchDeployment", "SearchWorkload"]

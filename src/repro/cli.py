@@ -1,0 +1,186 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples
+--------
+::
+
+    python -m repro.cli compare --networks 3 --hosts 20
+    python -m repro.cli detect --scheme gossip --networks 5 --hosts 20
+    python -m repro.cli formation --networks 2 --hosts 5
+    python -m repro.cli failover --rate 10
+    python -m repro.cli analysis --sizes 100 1000 4000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis import MODELS, AnalysisParams
+from repro.apps import SearchDeployment
+from repro.cluster.gateway import Gateway
+from repro.core import HierarchicalNode
+from repro.metrics import SCHEMES, FailureExperiment, make_scheme_cluster
+
+__all__ = ["main"]
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    print(f"{'scheme':<14} {'agg KB/s':>10} {'per-node':>9} {'detect':>8} {'converge':>9}")
+    print("-" * 56)
+    for scheme in sorted(SCHEMES):
+        res = FailureExperiment(
+            scheme,
+            args.networks,
+            args.hosts,
+            seed=args.seed,
+            warmup=25.0,
+            bandwidth_window=10.0,
+            observe=args.observe,
+        ).run()
+        print(
+            f"{scheme:<14} {res.bandwidth.aggregate_rate / 1e3:>10.1f} "
+            f"{res.bandwidth.per_node_rate / 1e3:>8.2f}K "
+            f"{res.detection:>7.2f}s {res.convergence:>8.2f}s"
+        )
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    res = FailureExperiment(
+        args.scheme,
+        args.networks,
+        args.hosts,
+        seed=args.seed,
+        warmup=25.0,
+        observe=args.observe,
+        measure_bandwidth=False,
+        kill_leader=args.kill_leader,
+    ).run()
+    print(f"scheme      : {res.scheme}")
+    print(f"nodes       : {res.num_nodes}")
+    print(f"victim      : {res.victim}" + (" (leader)" if args.kill_leader else ""))
+    print(f"detection   : {res.detection:.3f} s" if res.detection else "detection   : never")
+    print(
+        f"convergence : {res.convergence:.3f} s"
+        if res.convergence
+        else "convergence : incomplete"
+    )
+    print(f"observers   : {res.observers}/{res.num_nodes - 1}")
+    return 0
+
+
+def _cmd_formation(args: argparse.Namespace) -> int:
+    net, hosts, nodes = make_scheme_cluster(
+        "hierarchical", args.networks, args.hosts, seed=args.seed
+    )
+    net.run(until=args.warmup)
+    for host in sorted(nodes):
+        node = nodes[host]
+        assert isinstance(node, HierarchicalNode)
+        roles = []
+        for level in node.levels():
+            roles.append(
+                f"L{level}:{'leader' if node.is_leader(level) else node.leader_of(level)}"
+            )
+        print(f"{host:<18} view={len(node.view()):>4}  {'  '.join(roles)}")
+    return 0
+
+
+def _cmd_failover(args: argparse.Namespace) -> int:
+    warmup = 15.0
+    dep = SearchDeployment(networks=3, hosts_per_network=6, seed=args.seed)
+    net = dep.network
+    dep.warm_up(warmup)
+    engine = dep.engines["dcA"]
+    gw = Gateway(
+        net.sim,
+        executor=lambda query: engine.query(query),
+        workload=lambda seq: {"query": f"q{seq}"},
+        rate=args.rate,
+    )
+    gw.start()
+    net.sim.call_at(warmup + 20.0, dep.fail_doc_service, "dcA")
+    net.sim.call_at(warmup + 40.0, dep.recover_doc_service, "dcA")
+    net.run(until=warmup + 60.0)
+    gw.stop()
+    rt = {int(s - warmup): v for s, v in gw.stats.response_time_series()}
+    thr = {int(s - warmup): v for s, v in gw.stats.throughput_series()}
+    print(" sec | resp (ms) | req/s")
+    for sec in range(0, 60, 2):
+        ms = f"{1000 * rt[sec]:8.1f}" if sec in rt else "       -"
+        print(f" {sec:3d} | {ms}  | {thr.get(sec, 0):3.0f}")
+    print(f"issued={gw.stats.issued} completed={gw.stats.completed} failed={gw.stats.failed}")
+    return 0
+
+
+def _cmd_analysis(args: argparse.Namespace) -> int:
+    params = AnalysisParams(group_size=args.group_size)
+    models = {name: cls(params) for name, cls in MODELS.items()}
+    header = f"{'nodes':>7}"
+    for name in sorted(models):
+        header += f" | {name + ' MB/s':>17} {name + ' det':>16} {name + ' BDT(MB)':>20}"
+    print(header)
+    for n in args.sizes:
+        row = f"{n:>7}"
+        for name in sorted(models):
+            m = models[name]
+            row += (
+                f" | {m.aggregate_bandwidth(n) / 1e6:>17.2f}"
+                f" {m.detection_time(n):>15.1f}s"
+                f" {m.bdt(n) / 1e6:>20.1f}"
+            )
+        print(row)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Reproduction experiments for the topology-adaptive membership paper",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compare", help="all three schemes on one scenario (mini Figs. 11-13)")
+    p.add_argument("--networks", type=int, default=3)
+    p.add_argument("--hosts", type=int, default=20)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--observe", type=float, default=80.0)
+    p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("detect", help="single failure-detection run")
+    p.add_argument("--scheme", choices=sorted(SCHEMES), default="hierarchical")
+    p.add_argument("--networks", type=int, default=3)
+    p.add_argument("--hosts", type=int, default=20)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--observe", type=float, default=60.0)
+    p.add_argument("--kill-leader", action="store_true")
+    p.set_defaults(fn=_cmd_detect)
+
+    p = sub.add_parser("formation", help="show the membership hierarchy")
+    p.add_argument("--networks", type=int, default=2)
+    p.add_argument("--hosts", type=int, default=5)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--warmup", type=float, default=14.0)
+    p.set_defaults(fn=_cmd_formation)
+
+    p = sub.add_parser("failover", help="the Fig. 14 two-data-center scenario")
+    p.add_argument("--rate", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=4)
+    p.set_defaults(fn=_cmd_failover)
+
+    p = sub.add_parser("analysis", help="Section 4 closed forms")
+    p.add_argument("--sizes", type=int, nargs="+", default=[20, 100, 1000, 4000])
+    p.add_argument("--group-size", type=int, default=20)
+    p.set_defaults(fn=_cmd_analysis)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

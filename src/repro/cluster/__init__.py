@@ -1,0 +1,54 @@
+"""Neptune-like clustering middleware substrate.
+
+The paper's membership service lives inside the **Neptune** framework
+(Shen et al., USITS'01): a functionally-symmetric middleware where every
+node can *provide* services (server entities managing a data partition) and
+*consume* services exported by others, addressed by the location-transparent
+name ``(service name, partition ID)``.
+
+This package implements the pieces of that framework the membership
+protocols plug into:
+
+* :mod:`repro.cluster.directory` — the node-local **yellow-page directory**
+  (soft-state node records, regex service/partition lookup);
+* :mod:`repro.cluster.machine` — per-node machine configuration (the
+  ``/proc``-derived attributes the Announcer thread publishes);
+* :mod:`repro.cluster.service` — service specs, partition arithmetic;
+* :mod:`repro.cluster.provider` / :mod:`repro.cluster.consumer` — request
+  dispatch and location-transparent invocation;
+* :mod:`repro.cluster.loadbalance` — random and random-polling policies
+  (the paper balances replicas with random polling [20]);
+* :mod:`repro.cluster.gateway` — protocol-gateway workload generators;
+* :mod:`repro.cluster.failures` — scripted failure scenarios.
+"""
+
+from repro.cluster.directory import Directory, NodeRecord, parse_partitions
+from repro.cluster.machine import MachineInfo
+from repro.cluster.service import ServiceSpec
+from repro.cluster.provider import ProviderModule, ServiceHandler
+from repro.cluster.consumer import ConsumerModule, InvocationResult
+from repro.cluster.loadbalance import LoadBalancer, RandomChoice, RandomPolling
+from repro.cluster.loadinfo import LoadAwareBalancer, LoadReporter, LoadTracker
+from repro.cluster.gateway import Gateway, RequestStats
+from repro.cluster.failures import FailureSchedule
+
+__all__ = [
+    "Directory",
+    "NodeRecord",
+    "parse_partitions",
+    "MachineInfo",
+    "ServiceSpec",
+    "ProviderModule",
+    "ServiceHandler",
+    "ConsumerModule",
+    "InvocationResult",
+    "LoadBalancer",
+    "RandomChoice",
+    "RandomPolling",
+    "LoadAwareBalancer",
+    "LoadReporter",
+    "LoadTracker",
+    "Gateway",
+    "RequestStats",
+    "FailureSchedule",
+]

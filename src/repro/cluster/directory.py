@@ -1,0 +1,303 @@
+"""The node-local yellow-page directory.
+
+Every node in a decentralised Neptune cluster keeps its own copy of the
+*entire* service directory ("each node is able to access entire yellow page
+directory inside a service cluster", Section 1).  Entries are **soft
+state**: they exist only while refreshed by heartbeats or relayed updates,
+and carry enough bookkeeping for the hierarchical protocol's timeout rules
+(entries relayed by a group leader share the leader's lifetime).
+
+The lookup API mirrors the paper's ``MClient::lookup_service`` (Fig. 9):
+regular expressions are accepted in both the service name and the partition
+list, and matches return the per-machine attribute lists.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+__all__ = ["NodeRecord", "Directory", "parse_partitions"]
+
+
+def parse_partitions(spec: str) -> FrozenSet[int]:
+    """Parse a partition list like ``"1-3,5"`` into ``{1, 2, 3, 5}``.
+
+    Used both when a service registers ("register_service('Retriever',
+    '1-3')" announces partitions 1, 2 and 3) and when a lookup uses range
+    syntax.  Raises ``ValueError`` on malformed specs.
+    """
+    parts: set[int] = set()
+    spec = spec.strip()
+    if not spec:
+        return frozenset()
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            raise ValueError(f"empty chunk in partition spec {spec!r}")
+        if "-" in chunk:
+            lo_s, _, hi_s = chunk.partition("-")
+            lo, hi = int(lo_s), int(hi_s)
+            if hi < lo:
+                raise ValueError(f"descending range {chunk!r}")
+            parts.update(range(lo, hi + 1))
+        else:
+            parts.add(int(chunk))
+    return frozenset(parts)
+
+
+_RANGE_SPEC = re.compile(r"^[\d,\-\s]+$")
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """One directory entry: everything a node publishes about itself.
+
+    Attributes
+    ----------
+    node_id:
+        Host name (doubles as the unique election ID, like an IP address).
+    incarnation:
+        Boot epoch; a restarted node announces a higher incarnation so stale
+        records about its previous life lose every merge.
+    services:
+        ``service name -> frozenset of partition IDs`` hosted on the node.
+    attrs:
+        Key-value pairs: machine configuration (from :class:`MachineInfo`)
+        plus any values published through ``MService.update_value``.
+    """
+
+    node_id: str
+    incarnation: int = 0
+    services: Dict[str, FrozenSet[int]] = field(default_factory=dict)
+    attrs: Dict[str, str] = field(default_factory=dict)
+
+    def supersedes(self, other: "NodeRecord") -> bool:
+        """True if this record is at least as fresh as ``other``."""
+        return self.node_id == other.node_id and self.incarnation >= other.incarnation
+
+    def with_service(self, name: str, partitions: str | Iterable[int]) -> "NodeRecord":
+        """Functional update used by the provider-side API."""
+        parts = (
+            parse_partitions(partitions)
+            if isinstance(partitions, str)
+            else frozenset(int(p) for p in partitions)
+        )
+        services = dict(self.services)
+        services[name] = parts
+        return replace(self, services=services)
+
+    def with_attr(self, key: str, value: str) -> "NodeRecord":
+        attrs = dict(self.attrs)
+        attrs[key] = value
+        return replace(self, attrs=attrs)
+
+    def without_attr(self, key: str) -> "NodeRecord":
+        attrs = dict(self.attrs)
+        attrs.pop(key, None)
+        return replace(self, attrs=attrs)
+
+
+@dataclass
+class _Entry:
+    record: NodeRecord
+    last_refresh: float
+    relayed_by: Optional[str]  # leader that vouches for this entry, None = heard directly
+
+
+class Directory:
+    """Soft-state membership table with idempotent merge semantics.
+
+    The update operation is idempotent and monotone in ``incarnation`` —
+    the property the paper leans on when overlapping groups deliver
+    duplicate updates ("because the operation caused by an update message at
+    each node is idempotent, redundant messages will not cause confusion").
+    """
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._entries: Dict[str, _Entry] = {}
+        # relayer -> last time its liveness re-vouched for its entries.
+        # An alive leader's heartbeat keeps everything it relayed fresh in
+        # O(1) ("the membership information relayed by a group leader has
+        # the same life time as the leader itself").
+        self._vouch_times: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def upsert(
+        self,
+        record: NodeRecord,
+        now: float,
+        relayed_by: Optional[str] = None,
+    ) -> bool:
+        """Merge ``record``; returns True if the directory visibly changed.
+
+        A record loses against an existing entry with a higher incarnation.
+        Equal-incarnation records refresh the timestamp (and may update the
+        payload, e.g. a changed service value at the same boot epoch).
+        """
+        cur = self._entries.get(record.node_id)
+        if cur is not None and cur.record.incarnation > record.incarnation:
+            return False
+        changed = cur is None or cur.record != record
+        self._entries[record.node_id] = _Entry(record, now, relayed_by)
+        return changed
+
+    def refresh(self, node_id: str, now: float, relayed_by: Optional[str] = None) -> bool:
+        """Bump the freshness of an existing entry (heartbeat w/o changes)."""
+        entry = self._entries.get(node_id)
+        if entry is None:
+            return False
+        entry.last_refresh = now
+        if relayed_by is not None or entry.relayed_by is not None:
+            entry.relayed_by = relayed_by
+        return True
+
+    def remove(self, node_id: str) -> bool:
+        """Drop an entry (failure detected or departure announced)."""
+        return self._entries.pop(node_id, None) is not None
+
+    def purge_stale(self, now: float, timeout: float) -> List[str]:
+        """Remove directly-heard entries not refreshed within ``timeout``.
+
+        Returns the purged node ids.  Entries for the owner itself never
+        expire (a node always knows it is alive).
+        """
+        dead = [
+            nid
+            for nid, e in self._entries.items()
+            if nid != self.owner
+            and e.relayed_by is None
+            and now - e.last_refresh > timeout
+        ]
+        for nid in dead:
+            del self._entries[nid]
+        return dead
+
+    def purge_relayed_by(self, leader: str) -> List[str]:
+        """Drop every entry vouched for by ``leader`` (leader died).
+
+        Implements the timeout-protocol rule that "membership information
+        relayed by a group leader has the same life time as the leader
+        itself".
+        """
+        dead = [nid for nid, e in self._entries.items() if e.relayed_by == leader]
+        for nid in dead:
+            del self._entries[nid]
+        return dead
+
+    def purge_stale_relayed(self, now: float, timeout: float) -> List[str]:
+        """Remove relayed entries not refreshed or re-vouched in ``timeout``.
+
+        An entry counts as fresh if either it was refreshed directly or its
+        relayer vouched (see :meth:`vouch`) within the window.
+        """
+        dead = []
+        for nid, e in self._entries.items():
+            if nid == self.owner or e.relayed_by is None:
+                continue
+            effective = max(e.last_refresh, self._vouch_times.get(e.relayed_by, float("-inf")))
+            if now - effective > timeout:
+                dead.append(nid)
+        for nid in dead:
+            del self._entries[nid]
+        return dead
+
+    def vouch(self, relayer: str, now: float) -> None:
+        """Record that ``relayer`` is alive, keeping its relayed entries fresh."""
+        self._vouch_times[relayer] = now
+
+    def reattribute(self, old_relayer: str, new_relayer: str) -> int:
+        """Move vouching responsibility from ``old_relayer`` to ``new_relayer``.
+
+        Called on leader failover: the new leader inherits the old one's
+        vouched entries so they survive until it re-syncs.  Returns the
+        number of entries moved.
+        """
+        moved = 0
+        for e in self._entries.values():
+            if e.relayed_by == old_relayer:
+                e.relayed_by = new_relayer
+                moved += 1
+        if moved and old_relayer in self._vouch_times:
+            prev = self._vouch_times[old_relayer]
+            self._vouch_times[new_relayer] = max(prev, self._vouch_times.get(new_relayer, prev))
+        return moved
+
+    def relayed_entries(self, relayer: str) -> List[str]:
+        """Node ids currently vouched for by ``relayer`` (sorted)."""
+        return sorted(nid for nid, e in self._entries.items() if e.relayed_by == relayer)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._vouch_times.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, node_id: str) -> Optional[NodeRecord]:
+        entry = self._entries.get(node_id)
+        return entry.record if entry else None
+
+    def last_refresh(self, node_id: str) -> Optional[float]:
+        entry = self._entries.get(node_id)
+        return entry.last_refresh if entry else None
+
+    def relayed_by(self, node_id: str) -> Optional[str]:
+        entry = self._entries.get(node_id)
+        return entry.relayed_by if entry else None
+
+    def members(self) -> List[str]:
+        """All known node ids, sorted (deterministic iteration)."""
+        return sorted(self._entries)
+
+    def records(self) -> List[NodeRecord]:
+        return [self._entries[nid].record for nid in sorted(self._entries)]
+
+    def snapshot(self) -> Dict[str, NodeRecord]:
+        """Copy of the table, for bootstrap transfers and assertions."""
+        return {nid: e.record for nid, e in self._entries.items()}
+
+    def lookup_service(
+        self,
+        service: str,
+        partition: Optional[str] = None,
+    ) -> List[NodeRecord]:
+        """Find nodes providing ``service`` (regex) on ``partition``.
+
+        ``partition`` may be ``None`` (any), a range list like ``"1-3,5"``
+        (matches nodes hosting *any* listed partition), or a regular
+        expression matched against individual partition numbers.
+        """
+        svc_re = re.compile(service)
+        wanted: Optional[FrozenSet[int]] = None
+        part_re: Optional[re.Pattern[str]] = None
+        if partition is not None:
+            if _RANGE_SPEC.match(partition):
+                wanted = parse_partitions(partition)
+            else:
+                part_re = re.compile(partition)
+        out: List[NodeRecord] = []
+        for nid in sorted(self._entries):
+            record = self._entries[nid].record
+            for name, parts in record.services.items():
+                if not svc_re.fullmatch(name):
+                    continue
+                if wanted is not None and not (parts & wanted):
+                    continue
+                if part_re is not None and not any(
+                    part_re.fullmatch(str(p)) for p in parts
+                ):
+                    continue
+                out.append(record)
+                break
+        return out

@@ -1,0 +1,97 @@
+"""Scripted failure scenarios.
+
+Experiments inject failures exactly the way the paper did — "We kill the
+membership service daemon process on a node to emulate the node failure"
+(Section 6.4) — plus switch/router failures for network partitions and
+timed recoveries for the Fig. 14 scenario.
+
+A :class:`FailureSchedule` binds a :class:`~repro.net.network.Network` to a
+registry of per-host *stacks* (any objects with ``start()``/``stop()`` —
+membership protocol nodes, provider modules, proxies).  Crashing a host
+stops its stacks and downs the device; recovery brings the device up and
+restarts the stacks, which then re-join the protocol from scratch (the
+bootstrap path).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Protocol
+
+from repro.net.network import Network
+
+__all__ = ["FailureSchedule"]
+
+
+class _Stack(Protocol):  # pragma: no cover - typing helper
+    def start(self) -> None: ...
+
+    def stop(self) -> None: ...
+
+
+class FailureSchedule:
+    """Time-triggered crash/recover actions against a network + stacks."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._stacks: Dict[str, List[Any]] = defaultdict(list)
+        self.log: List[tuple[float, str, str]] = []
+
+    def register_stack(self, host: str, stack: Any) -> None:
+        """Associate a protocol stack with its host for crash/restart."""
+        self._stacks[host].append(stack)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def crash_node_at(self, time: float, host: str) -> None:
+        """Kill ``host`` (daemon + NIC) at ``time``."""
+        self.network.sim.call_at(time, self._crash, host)
+
+    def recover_node_at(self, time: float, host: str) -> None:
+        self.network.sim.call_at(time, self._recover, host)
+
+    def fail_device_at(self, time: float, device: str) -> None:
+        """Down a switch/router at ``time`` (network partition)."""
+        self.network.sim.call_at(time, self._fail_device, device)
+
+    def recover_device_at(self, time: float, device: str) -> None:
+        self.network.sim.call_at(time, self._recover_device, device)
+
+    def stop_service_at(self, time: float, host: str, stack: Any) -> None:
+        """Stop one specific stack (service fails, host stays up)."""
+        self.network.sim.call_at(time, self._stop_one, host, stack)
+
+    def start_service_at(self, time: float, host: str, stack: Any) -> None:
+        self.network.sim.call_at(time, self._start_one, host, stack)
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def _crash(self, host: str) -> None:
+        for stack in self._stacks.get(host, []):
+            stack.stop()
+        self.network.crash_host(host)
+        self.log.append((self.network.now, "crash", host))
+
+    def _recover(self, host: str) -> None:
+        self.network.recover_host(host)
+        for stack in self._stacks.get(host, []):
+            stack.start()
+        self.log.append((self.network.now, "recover", host))
+
+    def _fail_device(self, device: str) -> None:
+        self.network.fail_device(device)
+        self.log.append((self.network.now, "device_fail", device))
+
+    def _recover_device(self, device: str) -> None:
+        self.network.recover_device(device)
+        self.log.append((self.network.now, "device_recover", device))
+
+    def _stop_one(self, host: str, stack: Any) -> None:
+        stack.stop()
+        self.log.append((self.network.now, "service_stop", host))
+
+    def _start_one(self, host: str, stack: Any) -> None:
+        stack.start()
+        self.log.append((self.network.now, "service_start", host))

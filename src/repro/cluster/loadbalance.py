@@ -1,0 +1,80 @@
+"""Replica-selection policies.
+
+The paper routes each request "to an appropriate node based on the service
+availability and runtime workload" using the random-polling technique of
+Shen et al. [20]: sample *d* random replicas, poll their current load, send
+the request to the least-loaded responder.  Because load travels in the
+poll replies, the membership protocol itself never carries load state.
+
+:class:`RandomChoice` (uniform pick, zero poll traffic) is the degenerate
+``d = 1`` policy and is what latency-insensitive tests use.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, List, Sequence
+
+__all__ = ["LoadBalancer", "RandomChoice", "RandomPolling"]
+
+
+class LoadBalancer(ABC):
+    """Strategy interface used by :class:`~repro.cluster.consumer.ConsumerModule`."""
+
+    #: When True, the consumer performs a load-poll round before dispatch.
+    polls: bool = False
+
+    @abstractmethod
+    def choose(self, candidates: Sequence[str], rng: random.Random) -> str:
+        """Pick the dispatch target from non-empty ``candidates``."""
+
+    def poll_targets(self, candidates: Sequence[str], rng: random.Random) -> List[str]:
+        """Subset of candidates to poll (only used when ``polls``)."""
+        return []
+
+    def pick_from_loads(
+        self, loads: Dict[str, int], candidates: Sequence[str], rng: random.Random
+    ) -> str:
+        """Choose given poll results; fall back to random if none answered."""
+        return self.choose(candidates, rng)
+
+
+class RandomChoice(LoadBalancer):
+    """Uniform random replica selection (no polling)."""
+
+    polls = False
+
+    def choose(self, candidates: Sequence[str], rng: random.Random) -> str:
+        if not candidates:
+            raise ValueError("no candidates")
+        return candidates[rng.randrange(len(candidates))]
+
+
+class RandomPolling(LoadBalancer):
+    """Poll ``d`` random replicas, dispatch to the least-loaded responder."""
+
+    polls = True
+
+    def __init__(self, d: int = 2) -> None:
+        if d < 1:
+            raise ValueError("poll degree d must be >= 1")
+        self.d = d
+
+    def choose(self, candidates: Sequence[str], rng: random.Random) -> str:
+        if not candidates:
+            raise ValueError("no candidates")
+        return candidates[rng.randrange(len(candidates))]
+
+    def poll_targets(self, candidates: Sequence[str], rng: random.Random) -> List[str]:
+        k = min(self.d, len(candidates))
+        return rng.sample(list(candidates), k)
+
+    def pick_from_loads(
+        self, loads: Dict[str, int], candidates: Sequence[str], rng: random.Random
+    ) -> str:
+        if not loads:
+            return self.choose(candidates, rng)
+        best = min(loads.values())
+        tied = sorted(h for h, v in loads.items() if v == best)
+        return tied[rng.randrange(len(tied))]

@@ -1,0 +1,54 @@
+"""Machine configuration published through the membership service.
+
+The paper's Announcer thread "collects the machine information from the
+/proc file system" and ships it inside heartbeat packets alongside service
+information.  :class:`MachineInfo` is the simulated stand-in: a small bag of
+stable hardware attributes, serialisable to the key-value form the
+directory stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["MachineInfo"]
+
+
+@dataclass(frozen=True)
+class MachineInfo:
+    """Stable hardware description of one cluster node.
+
+    Defaults mirror the paper's testbed (dual 1.4 GHz Pentium III running
+    RedHat Linux 2.4.20 on 100 Mb Ethernet).
+    """
+
+    cpu_model: str = "Pentium III"
+    cpu_mhz: int = 1400
+    num_cpus: int = 2
+    mem_mb: int = 1024
+    os: str = "Linux 2.4.20"
+    nic_mbps: int = 100
+
+    def to_attrs(self) -> Dict[str, str]:
+        """Flatten to the key-value pairs carried in heartbeat packets."""
+        return {
+            "cpu_model": self.cpu_model,
+            "cpu_mhz": str(self.cpu_mhz),
+            "num_cpus": str(self.num_cpus),
+            "mem_mb": str(self.mem_mb),
+            "os": self.os,
+            "nic_mbps": str(self.nic_mbps),
+        }
+
+    @classmethod
+    def from_attrs(cls, attrs: Dict[str, str]) -> "MachineInfo":
+        """Inverse of :meth:`to_attrs`; ignores unrelated keys."""
+        return cls(
+            cpu_model=attrs.get("cpu_model", "unknown"),
+            cpu_mhz=int(attrs.get("cpu_mhz", 0)),
+            num_cpus=int(attrs.get("num_cpus", 1)),
+            mem_mb=int(attrs.get("mem_mb", 0)),
+            os=attrs.get("os", "unknown"),
+            nic_mbps=int(attrs.get("nic_mbps", 0)),
+        )

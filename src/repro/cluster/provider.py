@@ -1,0 +1,144 @@
+"""The provider module: service request dispatch on one node.
+
+Mirrors the Neptune provider module: requests arrive on the node's service
+port, are handed to the service-specific handler, take a (simulated)
+processing time, and the reply is sent back to the consumer.  The provider
+also answers **load polls** — the paper's Announcer thread "answers the
+polling requests from other nodes to facilitate the random polling load
+balancing strategy".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.cluster.service import ServiceSpec
+from repro.net.network import Network
+from repro.net.packet import Packet
+
+__all__ = ["ProviderModule", "ServiceHandler"]
+
+#: ``handler(partition, request_data) -> response_data``
+ServiceHandler = Callable[[int, Any], Any]
+
+SERVICE_PORT = "service"
+REQUEST_SIZE = 256
+REPLY_SIZE = 512
+POLL_SIZE = 64
+
+
+class ProviderModule:
+    """Hosts service instances on one node and serves requests for them."""
+
+    def __init__(self, network: Network, host: str) -> None:
+        self.network = network
+        self.host = host
+        self._services: Dict[str, ServiceSpec] = {}
+        self._handlers: Dict[str, ServiceHandler] = {}
+        self._active = 0  # in-flight requests == load metric for polling
+        self._served = 0
+        self._running = False
+        #: optional hook(consumer_host, service) invoked per request; used
+        #: by the load-information protocol to learn who is "interested".
+        self.request_observer: Optional[Callable[[str, str], None]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bind the service port.  Idempotent."""
+        self.network.bind(self.host, SERVICE_PORT, self._on_packet)
+        self._running = True
+        self._active = 0
+
+    def stop(self) -> None:
+        self.network.transport.unbind(self.host, SERVICE_PORT)
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, spec: ServiceSpec, handler: Optional[ServiceHandler] = None) -> None:
+        """Export a service.  ``handler`` defaults to echoing the request."""
+        self._services[spec.name] = spec
+        self._handlers[spec.name] = handler if handler is not None else _echo_handler
+
+    def services(self) -> Dict[str, ServiceSpec]:
+        return dict(self._services)
+
+    @property
+    def load(self) -> int:
+        """Current number of in-flight requests."""
+        return self._active
+
+    @property
+    def served(self) -> int:
+        """Total completed requests (metrics)."""
+        return self._served
+
+    # ------------------------------------------------------------------
+    # Packet handling
+    # ------------------------------------------------------------------
+    def _on_packet(self, packet: Packet) -> None:
+        if packet.kind == "svc_request":
+            self._on_request(packet)
+        elif packet.kind == "load_poll":
+            self._on_load_poll(packet)
+
+    def _on_load_poll(self, packet: Packet) -> None:
+        self.network.unicast(
+            self.host,
+            packet.payload["reply_to"],
+            kind="load_reply",
+            payload={"poll_id": packet.payload["poll_id"], "load": self._active, "host": self.host},
+            size=POLL_SIZE,
+            port=packet.payload.get("reply_port", SERVICE_PORT),
+        )
+
+    def _on_request(self, packet: Packet) -> None:
+        payload = packet.payload
+        service = payload["service"]
+        if self.request_observer is not None:
+            self.request_observer(payload["reply_to"], service)
+        spec = self._services.get(service)
+        partition = payload["partition"]
+        if spec is None or (partition is not None and partition not in spec.partitions):
+            self._reply(payload, ok=False, value=None, error="no_such_service")
+            return
+        handler = self._handlers[service]
+        self._active += 1
+        self.network.sim.call_after(
+            spec.service_time, self._complete, payload, handler, partition
+        )
+
+    def _complete(self, payload: Dict[str, Any], handler: ServiceHandler, partition: int) -> None:
+        self._active = max(0, self._active - 1)
+        if not self._running:
+            return  # crashed while the request was being processed
+        try:
+            value = handler(partition, payload.get("data"))
+        except Exception as exc:  # noqa: BLE001 - app handler errors become failures
+            self._reply(payload, ok=False, value=None, error=f"handler_error:{exc}")
+            return
+        self._served += 1
+        self._reply(payload, ok=True, value=value, error=None)
+
+    def _reply(self, payload: Dict[str, Any], ok: bool, value: Any, error: Optional[str]) -> None:
+        self.network.unicast(
+            self.host,
+            payload["reply_to"],
+            kind="svc_reply",
+            payload={
+                "req_id": payload["req_id"],
+                "ok": ok,
+                "value": value,
+                "error": error,
+                "server": self.host,
+            },
+            size=REPLY_SIZE,
+            port=payload.get("reply_port", SERVICE_PORT),
+        )
+
+
+def _echo_handler(partition: int, data: Any) -> Any:
+    return {"partition": partition, "echo": data}

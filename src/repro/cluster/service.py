@@ -1,0 +1,60 @@
+"""Service specifications.
+
+A Neptune *service instance* is "a server entity that runs on a cluster
+node and manages a data partition belonging to a service component".  A
+:class:`ServiceSpec` describes what one node exports: the component name,
+the partitions it holds, service-specific parameters (the ``*SERVICE``
+section of the configuration file, Fig. 7), and a simulated service-time
+model used by the provider module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable
+
+from repro.cluster.directory import parse_partitions
+
+__all__ = ["ServiceSpec"]
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One exported service on one node.
+
+    Attributes
+    ----------
+    name:
+        Component name, e.g. ``"index"`` or ``"doc"``.
+    partitions:
+        Data partitions this instance manages.
+    params:
+        Service-specific key-values (``Port = 8080`` style).
+    service_time:
+        Mean simulated processing time per request, seconds.
+    """
+
+    name: str
+    partitions: FrozenSet[int]
+    params: Dict[str, str] = field(default_factory=dict)
+    service_time: float = 0.005
+
+    @classmethod
+    def make(
+        cls,
+        name: str,
+        partitions: str | Iterable[int],
+        service_time: float = 0.005,
+        **params: str,
+    ) -> "ServiceSpec":
+        """Convenience constructor accepting ``"1-3,5"`` partition syntax."""
+        parts = (
+            parse_partitions(partitions)
+            if isinstance(partitions, str)
+            else frozenset(int(p) for p in partitions)
+        )
+        return cls(name=name, partitions=parts, params=dict(params), service_time=service_time)
+
+    def partition_spec(self) -> str:
+        """Canonical string form of the partition set (for registration)."""
+        return ",".join(str(p) for p in sorted(self.partitions))

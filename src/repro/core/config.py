@@ -1,0 +1,234 @@
+"""Configuration for the hierarchical membership service.
+
+Includes a parser for the paper's configuration-file format (Fig. 7):
+
+.. code-block:: text
+
+    *SYSTEM
+    SHM_KEY     = 999
+    MAX_TTL     = 4
+    MCAST_ADDR  = 239.255.0.2
+    MCAST_PORT  = 10050
+    MCAST_FREQ  = 1
+    MAX_LOSS    = 5
+
+    *SERVICE
+    [HTTP]
+        PARTITION = 0
+        Port = 8080
+    [Cache]
+        PARTITION = 2
+
+The ``*SYSTEM`` section maps onto :class:`HierarchicalConfig`; each
+``[Name]`` block in ``*SERVICE`` becomes a
+:class:`~repro.cluster.service.ServiceSpec` whose non-``PARTITION`` keys are
+service parameters published as key-value pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Tuple
+
+from repro.cluster.service import ServiceSpec
+from repro.protocols.base import ProtocolConfig
+
+__all__ = ["HierarchicalConfig", "parse_config_text", "render_config_text"]
+
+
+@dataclass(frozen=True)
+class HierarchicalConfig(ProtocolConfig):
+    """Tunables of the tree-based protocol.
+
+    In addition to the common knobs (heartbeat period, ``max_loss``,
+    member size), the hierarchical scheme has:
+
+    ``base_channel``
+        The single administrator-specified multicast channel; per-level
+        channels are derived as ``f"{base_channel}/L{level}"`` with TTL
+        ``level + 1`` ("All other channels can be derived from the base
+        channel and a TTL value", Section 3.1.1).
+    ``channel_overrides``
+        "For maximum control flexibility, our implementation also allows
+        administrators to specify multicast channels at each level" —
+        a ``level -> channel name`` mapping taking precedence over the
+        derived names.
+    ``max_ttl``
+        Group formation stops once the TTL reaches this bound.
+    ``piggyback_depth``
+        Each update message carries this many previous updates so the
+        receiver tolerates that many consecutive losses (paper: 3).
+    ``level_timeout_slope``
+        Per-level growth of the declaration timeout: higher-level groups
+        use larger timeouts so a lower-level re-election wins the race
+        against the higher-level purge (Section 3.1.2, Timeout Protocol).
+    ``election_delay``
+        How long a node waits hearing no leader before contending.
+    ``relayed_timeout_factor``
+        Backstop lifetime of relayed entries, as a multiple of
+        ``fail_timeout``; explicit remove-updates are the fast path.
+    ``min_sync_interval``
+        Rate limit for bootstrap/poll full-directory exchanges per peer.
+    ``tombstone_quarantine_factor``
+        How long (in multiples of ``fail_timeout``) a death certificate
+        blocks re-adding the same incarnation of a removed node; long
+        enough for the removal to converge cluster-wide, short enough not
+        to delay partition healing.
+    ``shm_key``
+        Key of the shared-memory yellow page (used by the MClient API to
+        find the daemon's directory, as in Fig. 9).
+    """
+
+    base_channel: str = "239.255.0.2:10050"
+    channel_overrides: Tuple[Tuple[int, str], ...] = ()
+    max_ttl: int = 4
+    piggyback_depth: int = 3
+    level_timeout_slope: float = 0.5
+    election_delay: float = 2.5
+    relayed_timeout_factor: float = 4.0
+    min_sync_interval: float = 2.0
+    tombstone_quarantine_factor: float = 2.0
+    shm_key: int = 999
+
+    # ------------------------------------------------------------------
+    def channel(self, level: int) -> str:
+        """Multicast channel name for groups at ``level``.
+
+        Administrator overrides win; otherwise the name is derived from
+        the base channel.
+        """
+        if level < 0 or level > self.max_level:
+            raise ValueError(f"level {level} outside [0, {self.max_level}]")
+        for lv, name in self.channel_overrides:
+            if lv == level:
+                return name
+        return f"{self.base_channel}/L{level}"
+
+    def with_channel_override(self, level: int, name: str) -> "HierarchicalConfig":
+        """Return a config with one per-level channel pinned by the admin."""
+        overrides = tuple((lv, nm) for lv, nm in self.channel_overrides if lv != level)
+        return replace(self, channel_overrides=overrides + ((level, name),))
+
+    def ttl_for_level(self, level: int) -> int:
+        """TTL value used on the level's channel (level 0 -> TTL 1)."""
+        return level + 1
+
+    @property
+    def max_level(self) -> int:
+        """Highest group level (TTL of ``max_ttl``)."""
+        return self.max_ttl - 1
+
+    def level_timeout(self, level: int) -> float:
+        """Silence threshold before a direct peer on ``level`` is dead.
+
+        Grows with the level so a leader re-election at level *l* finishes
+        before the level *l+1* group purges the subtree.
+        """
+        return self.fail_timeout * (1.0 + self.level_timeout_slope * level)
+
+    @property
+    def relayed_timeout(self) -> float:
+        """Backstop lifetime of relayed (vouched-for) entries."""
+        return self.fail_timeout * self.relayed_timeout_factor
+
+    @property
+    def tombstone_quarantine(self) -> float:
+        """How long a death certificate blocks same-incarnation re-adds."""
+        return self.fail_timeout * self.tombstone_quarantine_factor
+
+
+def parse_config_text(text: str) -> Tuple[HierarchicalConfig, List[ServiceSpec]]:
+    """Parse the Fig. 7 configuration format.
+
+    Unknown ``*SYSTEM`` keys are rejected (configuration typos should fail
+    loudly); service blocks accept arbitrary parameter keys.
+    """
+    system: Dict[str, str] = {}
+    services: List[Tuple[str, Dict[str, str]]] = []
+    section = None
+    current_service: Dict[str, str] | None = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.upper() == "*SYSTEM":
+            section = "system"
+            continue
+        if line.upper() == "*SERVICE":
+            section = "service"
+            continue
+        if section == "service" and line.startswith("[") and line.endswith("]"):
+            current_service = {}
+            services.append((line[1:-1].strip(), current_service))
+            continue
+        if "=" not in line:
+            raise ValueError(f"malformed config line: {raw_line!r}")
+        key, _, value = line.partition("=")
+        key, value = key.strip(), value.strip()
+        if section == "system":
+            system[key.upper()] = value
+        elif section == "service":
+            if current_service is None:
+                raise ValueError("service parameter outside a [Service] block")
+            current_service[key] = value
+        else:
+            raise ValueError(f"config line before any section: {raw_line!r}")
+
+    config = HierarchicalConfig()
+    mapping = {
+        "SHM_KEY": ("shm_key", int),
+        "MAX_TTL": ("max_ttl", int),
+        "MCAST_FREQ": ("heartbeat_period", lambda v: 1.0 / float(v)),
+        "MAX_LOSS": ("max_loss", int),
+        "MEMBER_SIZE": ("member_size", int),
+        "PIGGYBACK": ("piggyback_depth", int),
+    }
+    addr = system.pop("MCAST_ADDR", None)
+    port = system.pop("MCAST_PORT", None)
+    if addr is not None or port is not None:
+        base = f"{addr or '239.255.0.2'}:{port or '10050'}"
+        config = replace(config, base_channel=base)
+    # Administrator-pinned per-level channels: CHANNEL_L<k> = <name>.
+    overrides = []
+    for key in sorted(k for k in system if k.startswith("CHANNEL_L")):
+        level_str = key[len("CHANNEL_L") :]
+        if not level_str.isdigit():
+            raise ValueError(f"malformed channel override key {key!r}")
+        overrides.append((int(level_str), system.pop(key)))
+    if overrides:
+        config = replace(config, channel_overrides=tuple(overrides))
+    for key, value in system.items():
+        if key not in mapping:
+            raise ValueError(f"unknown *SYSTEM key {key!r}")
+        attr, conv = mapping[key]
+        config = replace(config, **{attr: conv(value)})
+
+    specs: List[ServiceSpec] = []
+    for name, params in services:
+        params = dict(params)
+        partition = params.pop("PARTITION", "0")
+        specs.append(ServiceSpec.make(name, partition, **params))
+    return config, specs
+
+
+def render_config_text(config: HierarchicalConfig, services: List[ServiceSpec]) -> str:
+    """Inverse of :func:`parse_config_text` (round-trips the Fig. 7 format)."""
+    addr, _, port = config.base_channel.partition(":")
+    lines = [
+        "*SYSTEM",
+        f"SHM_KEY = {config.shm_key}",
+        f"MAX_TTL = {config.max_ttl}",
+        f"MCAST_ADDR = {addr}",
+        f"MCAST_PORT = {port}",
+        f"MCAST_FREQ = {1.0 / config.heartbeat_period:g}",
+        f"MAX_LOSS = {config.max_loss}",
+    ]
+    for level, name in sorted(config.channel_overrides):
+        lines.append(f"CHANNEL_L{level} = {name}")
+    lines += ["", "*SERVICE"]
+    for spec in services:
+        lines.append(f"[{spec.name}]")
+        lines.append(f"    PARTITION = {spec.partition_spec()}")
+        for key, value in sorted(spec.params.items()):
+            lines.append(f"    {key} = {value}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,105 @@
+"""Per-channel group state.
+
+A node participating in a channel keeps a :class:`GroupState`: the peers it
+currently hears there (with their election flags and freshness) and its own
+election posture on that channel.  TTL scoping means two nodes subscribed
+to the same channel may see different peer sets — this per-node view is
+exactly what makes the protocol correct on the overlapping topologies of
+Fig. 4, where *group* is a per-observer notion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.heartbeat import Heartbeat
+
+__all__ = ["PeerState", "GroupState"]
+
+
+@dataclass
+class PeerState:
+    """What this node knows about one peer on one channel."""
+
+    node_id: str
+    last_heard: float
+    is_leader: bool = False
+    suppressed: bool = False
+    backup: Optional[str] = None
+    incarnation: int = 0
+
+
+@dataclass
+class GroupState:
+    """One node's view of one membership channel."""
+
+    level: int
+    peers: Dict[str, PeerState] = field(default_factory=dict)
+    i_am_leader: bool = False
+    suppressed: bool = False
+    #: my designated backup (only meaningful while leader)
+    my_backup: Optional[str] = None
+    #: when we first observed "no leader visible" (election clock)
+    leaderless_since: Optional[float] = None
+    #: a purged leader whose vouched entries await re-attribution to the
+    #: next leader that appears on this channel
+    last_dead_leader: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Updates from received heartbeats
+    # ------------------------------------------------------------------
+    def note_heartbeat(self, hb: Heartbeat, now: float) -> bool:
+        """Record a peer heartbeat; returns True if the peer is new."""
+        peer = self.peers.get(hb.node_id)
+        is_new = peer is None or peer.incarnation < hb.record.incarnation
+        if peer is None:
+            peer = PeerState(hb.node_id, now)
+            self.peers[hb.node_id] = peer
+        peer.last_heard = now
+        peer.is_leader = hb.is_leader
+        peer.suppressed = hb.suppressed
+        peer.backup = hb.backup
+        peer.incarnation = hb.record.incarnation
+        return is_new
+
+    def drop_peer(self, node_id: str) -> Optional[PeerState]:
+        return self.peers.pop(node_id, None)
+
+    def purge_silent(self, now: float, timeout: float) -> List[PeerState]:
+        """Remove and return peers silent for more than ``timeout``."""
+        dead = [p for p in self.peers.values() if now - p.last_heard > timeout]
+        for p in dead:
+            del self.peers[p.node_id]
+        return dead
+
+    # ------------------------------------------------------------------
+    # Election views
+    # ------------------------------------------------------------------
+    def visible_leaders(self) -> List[str]:
+        """Peers currently flying the leader flag, sorted by id."""
+        return sorted(p.node_id for p in self.peers.values() if p.is_leader)
+
+    def current_leader(self, self_id: str) -> Optional[str]:
+        """The leader this node follows on the channel (or itself)."""
+        if self.i_am_leader:
+            return self_id
+        leaders = self.visible_leaders()
+        return leaders[0] if leaders else None
+
+    def contenders_below(self, my_id: str) -> List[str]:
+        """Visible non-suppressed peers with a smaller id than mine.
+
+        These are the peers that would win a bully election this node
+        could otherwise claim.  Suppressed peers (they see some leader we
+        cannot) stand aside, which is what lets a higher-id node lead an
+        overlapped group (paper Fig. 4: F leads G'2 although E < F).
+        """
+        return sorted(
+            p.node_id
+            for p in self.peers.values()
+            if not p.suppressed and not p.is_leader and p.node_id < my_id
+        )
+
+    def member_ids(self) -> List[str]:
+        return sorted(self.peers)

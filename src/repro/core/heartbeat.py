@@ -1,0 +1,55 @@
+"""Heartbeat payloads for the hierarchical protocol.
+
+Within each group every member multicasts one heartbeat per period.  A
+heartbeat carries the sender's full member description (record) plus the
+per-channel election flags: whether the sender is the group's leader on
+this channel ("A group leader is found if a special flag in its heartbeat
+packets is set", Bootstrap Protocol), whether it currently *sees* a leader
+(used by the bully election to avoid two leaders that can see each other),
+and the leader's designated backup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.directory import NodeRecord
+
+__all__ = ["Heartbeat"]
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """One heartbeat on one channel.
+
+    Attributes
+    ----------
+    record:
+        The sender's self description (id, incarnation, services, attrs).
+    level:
+        Group level of the channel this heartbeat was sent on.
+    is_leader:
+        Leader flag for this channel.
+    suppressed:
+        True when the sender sees some leader on this channel (and thus
+        will not contend); lets other members run the election correctly
+        in overlapping topologies where they cannot see that leader.
+    backup:
+        The leader's designated backup member (only set by leaders).
+    update_seq:
+        The sender's latest update sequence number on this channel.  Lets
+        receivers detect a lost update even when no further update follows
+        (the next heartbeat reveals the gap and triggers a sync poll).
+    """
+
+    record: NodeRecord
+    level: int
+    is_leader: bool
+    suppressed: bool
+    backup: Optional[str] = None
+    update_seq: int = 0
+
+    @property
+    def node_id(self) -> str:
+        return self.record.node_id

@@ -1,0 +1,231 @@
+"""Update messages: origination, relay, piggyback, loss recovery.
+
+Status changes (node joins, departures, value changes) propagate through
+the tree as **update messages** (Section 3.1.2):
+
+* The leader that detects a change multicasts an update on every channel
+  it participates in ("it will multicast this information to all the
+  groups that it joins").
+* A node receiving a *new* update applies it and relays it onto its other
+  channels; the leader of the receiving channel additionally echoes it on
+  that same channel so overlapped group members beyond the sender's TTL
+  reach still hear it.  Updates carry a globally-unique ``uid`` and every
+  node processes each uid once, so relays terminate and redundant
+  deliveries are harmless (the paper's idempotence argument).
+* Loss handling: each (sender, channel) stream is sequence-numbered and
+  every message piggybacks the last ``piggyback_depth`` updates, tolerating
+  that many consecutive losses; a larger gap triggers a full directory
+  sync poll to the sender ("the receiver will poll the sender to
+  synchronize its membership directory").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.directory import NodeRecord
+
+__all__ = ["UpdateOp", "UpdateMessage", "UpdateManager", "RecvOutcome"]
+
+_uid_counter = itertools.count(1)
+
+#: Wire-size estimate of a removal op (node id + incarnation + op byte).
+REMOVE_OP_SIZE = 24
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """One membership delta.
+
+    ``op`` is one of:
+
+    * ``"add"`` — record present;
+    * ``"remove"`` — failure detected; id + incarnation of the node being
+      removed (the incarnation guards against removing a fresher record of
+      a restarted node);
+    * ``"leave"`` — graceful departure announced by the node itself; like
+      a remove but receivers drop the member immediately even though its
+      heartbeats were heard moments ago.
+    """
+
+    op: str
+    node_id: str
+    incarnation: int
+    record: Optional[NodeRecord] = None
+
+    def size(self, member_size: int) -> int:
+        return member_size if self.op == "add" else REMOVE_OP_SIZE
+
+
+@dataclass(frozen=True)
+class UpdateMessage:
+    """One update datagram on one channel.
+
+    ``seq`` numbers the (sender, channel) stream hop-by-hop; ``uid`` and
+    ``origin`` identify the logical update end-to-end for deduplication.
+    ``piggyback`` carries ``(seq, uid, ops)`` of the sender's previous
+    updates on this channel.
+    """
+
+    uid: int
+    origin: str
+    sender: str
+    level: int
+    seq: int
+    ops: Tuple[UpdateOp, ...]
+    piggyback: Tuple[Tuple[int, int, Tuple[UpdateOp, ...]], ...] = ()
+
+    def size(self, member_size: int, header_size: int) -> int:
+        total = header_size + sum(op.size(member_size) for op in self.ops)
+        for _seq, _uid, ops in self.piggyback:
+            total += sum(op.size(member_size) for op in ops)
+        return total
+
+
+@dataclass
+class RecvOutcome:
+    """Result of processing one incoming update message."""
+
+    #: op groups to apply, oldest first (may include recovered piggyback)
+    apply: List[Tuple[int, Tuple[UpdateOp, ...]]] = field(default_factory=list)
+    #: True when a gap exceeded the piggyback depth: poll the sender
+    need_sync: bool = False
+    #: True when this message's primary update was new (should be relayed)
+    relay: bool = False
+
+
+class UpdateManager:
+    """Per-node bookkeeping for the update sub-protocol."""
+
+    def __init__(self, node_id: str, piggyback_depth: int = 3) -> None:
+        self.node_id = node_id
+        self.piggyback_depth = piggyback_depth
+        # outgoing per-channel state
+        self._next_seq: Dict[int, int] = {}
+        self._recent: Dict[int, List[Tuple[int, int, Tuple[UpdateOp, ...]]]] = {}
+        # incoming per (sender, level) stream position
+        self._last_seen: Dict[Tuple[str, int], int] = {}
+        # uids already applied/relayed
+        self._seen_uids: set[int] = set()
+
+    def reset(self) -> None:
+        """Forget everything (daemon restart)."""
+        self._next_seq.clear()
+        self._recent.clear()
+        self._last_seen.clear()
+        self._seen_uids.clear()
+
+    # ------------------------------------------------------------------
+    # Outgoing
+    # ------------------------------------------------------------------
+    def new_uid(self) -> int:
+        return next(_uid_counter)
+
+    def build(
+        self,
+        level: int,
+        ops: Sequence[UpdateOp],
+        uid: Optional[int] = None,
+        origin: Optional[str] = None,
+    ) -> UpdateMessage:
+        """Construct the next update message for ``level``'s channel.
+
+        ``uid``/``origin`` are carried through unchanged when relaying
+        someone else's update; omitted for locally-originated changes.
+        """
+        seq = self._next_seq.get(level, 0) + 1
+        self._next_seq[level] = seq
+        msg_uid = uid if uid is not None else self.new_uid()
+        recent = self._recent.setdefault(level, [])
+        msg = UpdateMessage(
+            uid=msg_uid,
+            origin=origin if origin is not None else self.node_id,
+            sender=self.node_id,
+            level=level,
+            seq=seq,
+            ops=tuple(ops),
+            piggyback=tuple(recent[-self.piggyback_depth :]),
+        )
+        recent.append((seq, msg_uid, tuple(ops)))
+        if len(recent) > self.piggyback_depth:
+            del recent[: len(recent) - self.piggyback_depth]
+        # Anything we send is by definition known to us.
+        self._seen_uids.add(msg_uid)
+        return msg
+
+    def mark_seen(self, uid: int) -> None:
+        self._seen_uids.add(uid)
+
+    # ------------------------------------------------------------------
+    # Incoming
+    # ------------------------------------------------------------------
+    def receive(self, msg: UpdateMessage) -> RecvOutcome:
+        """Process sequence numbers, piggyback recovery and deduplication.
+
+        The caller applies ``outcome.apply`` op groups (uid-deduplicated
+        already), relays the primary update if ``outcome.relay``, and
+        issues a directory sync poll to ``msg.sender`` if
+        ``outcome.need_sync``.
+        """
+        outcome = RecvOutcome()
+        key = (msg.sender, msg.level)
+        last = self._last_seen.get(key)
+        if last is None:
+            # First contact mid-stream: everything before msg.seq was
+            # missed; the piggyback recovers the recent tail and a larger
+            # hole triggers a bootstrap sync.
+            last = 0
+        if msg.seq <= last:
+            # Duplicate or reordered-behind packet: uid dedup still applies.
+            if msg.uid not in self._seen_uids:
+                self._seen_uids.add(msg.uid)
+                outcome.apply.append((msg.uid, msg.ops))
+                outcome.relay = True
+            return outcome
+
+        if msg.seq > last + 1:
+            # Gap: try to recover missed seqs from the piggyback.
+            missing = set(range(last + 1, msg.seq))
+            recovered = {
+                seq: (uid, ops)
+                for seq, uid, ops in msg.piggyback
+                if seq in missing
+            }
+            if missing - set(recovered):
+                outcome.need_sync = True
+            for seq in sorted(recovered):
+                uid, ops = recovered[seq]
+                if uid not in self._seen_uids:
+                    self._seen_uids.add(uid)
+                    outcome.apply.append((uid, ops))
+        self._last_seen[key] = msg.seq
+
+        if msg.uid not in self._seen_uids:
+            self._seen_uids.add(msg.uid)
+            outcome.apply.append((msg.uid, msg.ops))
+            outcome.relay = True
+        return outcome
+
+    def current_seq(self, level: int) -> int:
+        """Latest sequence number sent on ``level`` (advertised in heartbeats)."""
+        return self._next_seq.get(level, 0)
+
+    def behind(self, sender: str, level: int, advertised_seq: int) -> bool:
+        """True if the sender's heartbeat advertises updates we never saw."""
+        if advertised_seq <= 0:
+            return False
+        last = self._last_seen.get((sender, level))
+        return last is None or last < advertised_seq
+
+    def note_synced(self, sender: str, level: int, advertised_seq: int) -> None:
+        """Mark the stream caught-up after a full directory sync."""
+        key = (sender, level)
+        if self._last_seen.get(key, -1) < advertised_seq:
+            self._last_seen[key] = advertised_seq
+
+    def forget_sender(self, sender: str) -> None:
+        """Drop stream state for a dead sender (its seq space restarts)."""
+        for key in [k for k in self._last_seen if k[0] == sender]:
+            del self._last_seen[key]

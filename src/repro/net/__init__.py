@@ -1,0 +1,48 @@
+"""Network substrate: topology, TTL-scoped multicast, lossy UDP unicast.
+
+The paper's protocol is *topology-adaptive*: it forms membership groups from
+IP-multicast TTL scoping (a packet sent with TTL *t* is seen only by hosts
+within *t* router hops).  This package models exactly the mechanisms the
+protocol depends on:
+
+* :mod:`repro.net.topology` — hosts, layer-2 switches and layer-3 routers in
+  a graph; the **TTL distance** between two hosts is ``1 + number of routers
+  crossed`` on the shortest path (a TTL-1 packet stays within its L2
+  segment, matching Section 2 of the paper).
+* :mod:`repro.net.multicast` — multicast channels with per-send TTL scoping.
+* :mod:`repro.net.transport` — unicast UDP with latency and loss, plus an
+  address table supporting the proxy protocol's **IP failover** (a virtual
+  address re-bound to the new proxy leader).
+* :mod:`repro.net.bandwidth` — per-host byte/packet accounting used to
+  reproduce the Fig. 2 and Fig. 11 bandwidth measurements.
+* :mod:`repro.net.builders` — canonical topologies: the paper's testbed
+  (racks behind L3 switches), deep router trees, the Fig. 4 overlapping
+  layout, and multi-data-center deployments with WAN links.
+
+All of it is glued together by :class:`repro.net.network.Network`, the
+facade protocol nodes talk to.
+"""
+
+from repro.net.topology import Topology, NodeKind, UNREACHABLE
+from repro.net.packet import Packet
+from repro.net.bandwidth import BandwidthMeter
+from repro.net.network import Network
+from repro.net.builders import (
+    build_switched_cluster,
+    build_router_tree,
+    build_overlap_topology,
+    build_two_datacenters,
+)
+
+__all__ = [
+    "Topology",
+    "NodeKind",
+    "UNREACHABLE",
+    "Packet",
+    "BandwidthMeter",
+    "Network",
+    "build_switched_cluster",
+    "build_router_tree",
+    "build_overlap_topology",
+    "build_two_datacenters",
+]

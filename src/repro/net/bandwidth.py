@@ -1,0 +1,125 @@
+"""Per-host bandwidth and packet-rate accounting.
+
+The paper measures bandwidth "on each node by counting the incoming
+heartbeat packets", then sums over nodes for the aggregated curves of
+Fig. 11, and counts received multicast packets per second for Fig. 2.  The
+meter mirrors that: every delivery (and send) is recorded with its byte
+size, and queries aggregate by host, direction, packet kind, or time bucket.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["BandwidthMeter"]
+
+
+class BandwidthMeter:
+    """Accumulates (time, host, direction, kind, bytes) samples.
+
+    ``direction`` is ``"rx"`` or ``"tx"``.  For long sweeps the meter can be
+    switched to *totals-only* mode (``keep_series=False``) where it keeps
+    only aggregate counters, which is what the Fig. 11 bandwidth bench uses.
+    """
+
+    def __init__(self, keep_series: bool = False) -> None:
+        self.keep_series = keep_series
+        self._bytes: Dict[Tuple[str, str], int] = defaultdict(int)
+        self._packets: Dict[Tuple[str, str], int] = defaultdict(int)
+        self._kind_bytes: Dict[Tuple[str, str, str], int] = defaultdict(int)
+        self._series: List[Tuple[float, str, str, str, int]] = []
+        self._t0: Optional[float] = None
+        self._t1: Optional[float] = None
+
+    def record(self, time: float, host: str, direction: str, kind: str, size: int) -> None:
+        """Log one packet send/receive."""
+        key = (host, direction)
+        self._bytes[key] += size
+        self._packets[key] += 1
+        self._kind_bytes[(host, direction, kind)] += size
+        if self._t0 is None or time < self._t0:
+            self._t0 = time
+        if self._t1 is None or time > self._t1:
+            self._t1 = time
+        if self.keep_series:
+            self._series.append((time, host, direction, kind, size))
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+    def bytes(self, host: Optional[str] = None, direction: str = "rx") -> int:
+        """Total bytes for a host (or all hosts) in one direction."""
+        if host is not None:
+            return self._bytes.get((host, direction), 0)
+        return sum(v for (_h, d), v in self._bytes.items() if d == direction)
+
+    def packets(self, host: Optional[str] = None, direction: str = "rx") -> int:
+        if host is not None:
+            return self._packets.get((host, direction), 0)
+        return sum(v for (_h, d), v in self._packets.items() if d == direction)
+
+    def bytes_by_kind(self, kind: str, direction: str = "rx") -> int:
+        return sum(
+            v for (_h, d, k), v in self._kind_bytes.items() if d == direction and k == kind
+        )
+
+    @property
+    def duration(self) -> float:
+        """Span between first and last recorded sample (0 if <2 samples)."""
+        if self._t0 is None or self._t1 is None:
+            return 0.0
+        return self._t1 - self._t0
+
+    def aggregate_rate(self, direction: str = "rx", duration: Optional[float] = None) -> float:
+        """Summed bytes/second across all hosts.
+
+        ``duration`` defaults to the observed sample span; pass the actual
+        measurement window for exact normalisation.
+        """
+        span = duration if duration is not None else self.duration
+        if span <= 0:
+            return 0.0
+        return self.bytes(direction=direction) / span
+
+    def packet_rate(
+        self, host: Optional[str] = None, direction: str = "rx", duration: Optional[float] = None
+    ) -> float:
+        """Packets/second for one host or all hosts."""
+        span = duration if duration is not None else self.duration
+        if span <= 0:
+            return 0.0
+        return self.packets(host, direction) / span
+
+    def per_host_rates(self, direction: str = "rx", duration: Optional[float] = None) -> Dict[str, float]:
+        """bytes/second per host."""
+        span = duration if duration is not None else self.duration
+        if span <= 0:
+            return {}
+        out: Dict[str, float] = {}
+        for (host, d), v in self._bytes.items():
+            if d == direction:
+                out[host] = v / span
+        return out
+
+    # ------------------------------------------------------------------
+    # Time series (only when keep_series=True)
+    # ------------------------------------------------------------------
+    def bucketed(
+        self, bucket: float = 1.0, direction: str = "rx"
+    ) -> List[Tuple[float, int]]:
+        """(bucket_start, total_bytes) series across all hosts."""
+        if not self.keep_series:
+            raise RuntimeError("meter was created with keep_series=False")
+        acc: Dict[int, int] = defaultdict(int)
+        for time, _host, d, _kind, size in self._series:
+            if d == direction:
+                acc[int(time // bucket)] += size
+        return [(idx * bucket, total) for idx, total in sorted(acc.items())]
+
+    def reset(self) -> None:
+        self._bytes.clear()
+        self._packets.clear()
+        self._kind_bytes.clear()
+        self._series.clear()
+        self._t0 = self._t1 = None

@@ -1,0 +1,182 @@
+"""Canonical topology builders.
+
+Every evaluation scenario in the paper maps onto one of these layouts:
+
+* :func:`build_switched_cluster` — the testbed shape used in Section 6:
+  *k* networks (one L2 switch each, 20 hosts per network in the paper's
+  emulation) joined by a core router, so intra-network TTL distance is 1
+  and cross-network is 2.
+* :func:`build_router_tree` — deeper hierarchies for >2-level trees; TTL
+  distance grows with router depth.
+* :func:`build_overlap_topology` — the Fig. 4 layout where TTL counts are
+  not transitive and same-level groups overlap.
+* :func:`build_two_datacenters` — two switched clusters joined by a WAN
+  (VPN) link; multicast stays inside each DC, unicast crosses at the
+  configured WAN latency (45 ms one-way ≈ the paper's 90 ms RTT).
+
+Host naming is positional and stable (``"dc0-n1-h3"``) so experiments can
+address "the 3rd host of network 1" without keeping side tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.net.topology import Topology
+
+__all__ = [
+    "build_switched_cluster",
+    "build_router_tree",
+    "build_overlap_topology",
+    "build_two_datacenters",
+]
+
+#: Default one-way latencies (seconds).
+LAN_LATENCY = 0.0001  # 0.1 ms host <-> switch
+BACKBONE_LATENCY = 0.0002  # 0.2 ms switch <-> router / router <-> router
+WAN_LATENCY = 0.045  # 45 ms one-way => 90 ms RTT (paper Section 6.7)
+
+
+def build_switched_cluster(
+    num_networks: int,
+    hosts_per_network: int,
+    dc: str = "dc0",
+    topo: Topology | None = None,
+    lan_latency: float = LAN_LATENCY,
+    backbone_latency: float = BACKBONE_LATENCY,
+) -> Tuple[Topology, List[str]]:
+    """Networks of hosts behind L2 switches joined by one core router.
+
+    TTL distances: 1 within a network, 2 across networks (one router
+    crossed).  This is the two-level shape of the paper's 100-node
+    evaluation (5 networks x 20 nodes).
+
+    Returns ``(topology, hosts)`` with hosts in network-major order.
+    """
+    if num_networks < 1 or hosts_per_network < 1:
+        raise ValueError("need at least one network and one host")
+    t = topo if topo is not None else Topology()
+    hosts: List[str] = []
+    core = f"{dc}-core"
+    if num_networks > 1:
+        t.add_router(core, dc=dc)
+    for net in range(num_networks):
+        switch = f"{dc}-sw{net}"
+        t.add_switch(switch, dc=dc)
+        if num_networks > 1:
+            t.add_link(switch, core, latency=backbone_latency)
+        for idx in range(hosts_per_network):
+            host = f"{dc}-n{net}-h{idx}"
+            t.add_host(host, dc=dc)
+            t.add_link(host, switch, latency=lan_latency)
+            hosts.append(host)
+    return t, hosts
+
+
+def build_router_tree(
+    depth: int,
+    branching: int,
+    hosts_per_leaf: int,
+    dc: str = "dc0",
+    lan_latency: float = LAN_LATENCY,
+    backbone_latency: float = BACKBONE_LATENCY,
+) -> Tuple[Topology, List[str]]:
+    """A complete router tree of the given depth.
+
+    ``depth`` counts router levels (1 = a single router whose children are
+    leaf switches).  Each leaf router hangs one L2 switch with
+    ``hosts_per_leaf`` hosts.  Cousin hosts at distance *d* in the router
+    tree cross ``2d`` routers, giving a genuinely multi-level membership
+    hierarchy.
+    """
+    if depth < 1 or branching < 1 or hosts_per_leaf < 1:
+        raise ValueError("depth, branching, hosts_per_leaf must be >= 1")
+    t = Topology()
+    hosts: List[str] = []
+    root = f"{dc}-r0"
+    t.add_router(root, dc=dc)
+    frontier = [root]
+    next_id = 1
+    for _level in range(1, depth):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                router = f"{dc}-r{next_id}"
+                next_id += 1
+                t.add_router(router, dc=dc)
+                t.add_link(router, parent, latency=backbone_latency)
+                new_frontier.append(router)
+        frontier = new_frontier
+    for leaf_idx, leaf in enumerate(frontier):
+        switch = f"{dc}-sw{leaf_idx}"
+        t.add_switch(switch, dc=dc)
+        t.add_link(switch, leaf, latency=backbone_latency)
+        for h in range(hosts_per_leaf):
+            host = f"{dc}-n{leaf_idx}-h{h}"
+            t.add_host(host, dc=dc)
+            t.add_link(host, switch, latency=lan_latency)
+            hosts.append(host)
+    return t, hosts
+
+
+def build_overlap_topology(
+    hosts_per_group: int = 2,
+    dc: str = "dc0",
+) -> Tuple[Topology, List[str]]:
+    """The Fig. 4 non-transitive layout.
+
+    Three L2 segments behind routers ``rA``, ``rB``, ``rC`` wired in a
+    chain ``rB — rA — rC``, so segment-A hosts reach both others within
+    TTL 3 while B- and C-segment hosts need TTL 4 to reach each other.
+    The level-3 groups ``{A,B}`` and ``{A,C}`` therefore overlap at host A,
+    exercising the "general topology" branch of group formation.
+
+    Hosts are named ``{dc}-gA-h0, ... {dc}-gB-h0, ... {dc}-gC-h0, ...``.
+    """
+    t = Topology()
+    hosts: List[str] = []
+    t.add_router(f"{dc}-rA", dc=dc)
+    t.add_router(f"{dc}-rB", dc=dc)
+    t.add_router(f"{dc}-rC", dc=dc)
+    t.add_link(f"{dc}-rB", f"{dc}-rA", latency=BACKBONE_LATENCY)
+    t.add_link(f"{dc}-rA", f"{dc}-rC", latency=BACKBONE_LATENCY)
+    for group in ("A", "B", "C"):
+        switch = f"{dc}-s{group}"
+        t.add_switch(switch, dc=dc)
+        t.add_link(switch, f"{dc}-r{group}", latency=BACKBONE_LATENCY)
+        for idx in range(hosts_per_group):
+            host = f"{dc}-g{group}-h{idx}"
+            t.add_host(host, dc=dc)
+            t.add_link(host, switch, latency=LAN_LATENCY)
+            hosts.append(host)
+    return t, hosts
+
+
+def build_two_datacenters(
+    networks_per_dc: int,
+    hosts_per_network: int,
+    wan_latency: float = WAN_LATENCY,
+    dcs: Tuple[str, str] = ("dcA", "dcB"),
+) -> Tuple[Topology, List[str], List[str]]:
+    """Two switched clusters joined by a WAN link between border routers.
+
+    Returns ``(topology, hosts_dc_a, hosts_dc_b)``.  Multicast cannot cross
+    the WAN edge; unicast between the DCs incurs ``wan_latency`` one way in
+    addition to intra-DC latency.
+    """
+    t = Topology()
+    all_hosts: List[List[str]] = []
+    borders: List[str] = []
+    for dc in dcs:
+        _t, hosts = build_switched_cluster(
+            networks_per_dc, hosts_per_network, dc=dc, topo=t
+        )
+        all_hosts.append(hosts)
+        border = f"{dc}-border"
+        t.add_router(border, dc=dc)
+        # Border router attaches to the DC core (or the single switch).
+        attach = f"{dc}-core" if networks_per_dc > 1 else f"{dc}-sw0"
+        t.add_link(border, attach, latency=BACKBONE_LATENCY)
+        borders.append(border)
+    t.add_link(borders[0], borders[1], latency=wan_latency, wan=True)
+    return t, all_hosts[0], all_hosts[1]

@@ -1,0 +1,128 @@
+"""TTL-scoped multicast fabric.
+
+A *channel* models one (multicast address, port) pair.  The paper derives
+all channels from a single base channel plus a TTL value ("Only a base
+multicast channel needs to be specified for a cluster", Section 3.1.1), so
+protocol code names channels as strings like ``"base:L0"``, ``"base:L2"``.
+
+Delivery semantics: a packet sent by host *h* on channel *c* with TTL *t*
+is delivered to every **subscribed, live** host *s ≠ h* whose
+``ttl_distance(h, s) ≤ t`` over currently-live devices.  Each receiver
+independently suffers the loss process — exactly the paper's UDP multicast
+failure model ("it is possible these packets can be lost due to network
+congestion or overloading senders or receivers").
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Callable, Dict, Optional
+
+from repro.net.bandwidth import BandwidthMeter
+from repro.net.packet import Packet
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+
+__all__ = ["MulticastFabric"]
+
+Handler = Callable[[Packet], None]
+
+
+class MulticastFabric:
+    """Routes multicast packets to TTL-reachable subscribers.
+
+    Parameters
+    ----------
+    sim, topo, meter:
+        Simulation kernel, device graph, and bandwidth accounting.
+    loss_rate:
+        Per-receiver independent drop probability.
+    loss_rng:
+        Seeded stream used for drops (``None`` disables loss even if
+        ``loss_rate > 0``, which keeps fully deterministic tests simple).
+    proc_delay:
+        Fixed receive-path processing delay added to topology latency.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topo: Topology,
+        meter: BandwidthMeter,
+        loss_rate: float = 0.0,
+        loss_rng: Optional[random.Random] = None,
+        proc_delay: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.topo = topo
+        self.meter = meter
+        self.loss_rate = loss_rate
+        self.loss_rng = loss_rng
+        self.proc_delay = proc_delay
+        # channel -> host -> handler
+        self._subs: Dict[str, Dict[str, Handler]] = defaultdict(dict)
+
+    # ------------------------------------------------------------------
+    # Membership of channels
+    # ------------------------------------------------------------------
+    def subscribe(self, channel: str, host: str, handler: Handler) -> None:
+        """Join ``host`` to ``channel``; replaces any previous handler."""
+        self._subs[channel][host] = handler
+
+    def unsubscribe(self, channel: str, host: str) -> None:
+        self._subs.get(channel, {}).pop(host, None)
+
+    def unsubscribe_all(self, host: str) -> None:
+        """Used when a host crashes: it stops hearing everything."""
+        for subs in self._subs.values():
+            subs.pop(host, None)
+
+    def subscribers(self, channel: str) -> list[str]:
+        return sorted(self._subs.get(channel, {}))
+
+    def is_subscribed(self, channel: str, host: str) -> bool:
+        return host in self._subs.get(channel, {})
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> int:
+        """Multicast ``packet`` on ``packet.channel`` with ``packet.ttl``.
+
+        Returns the number of deliveries scheduled (post-scope, pre-loss).
+        A downed sender transmits nothing.
+        """
+        if packet.channel is None:
+            raise ValueError("multicast send requires packet.channel")
+        if not self.topo.is_up(packet.src):
+            return 0
+        self.meter.record(self.sim.now, packet.src, "tx", packet.kind, packet.size)
+        subs = self._subs.get(packet.channel)
+        if not subs:
+            return 0
+        delivered = 0
+        for host, handler in list(subs.items()):
+            if host == packet.src:
+                continue
+            dist = self.topo.ttl_distance(packet.src, host)
+            if dist > packet.ttl:
+                continue
+            delivered += 1
+            if self.loss_rng is not None and self.loss_rate > 0.0:
+                if self.loss_rng.random() < self.loss_rate:
+                    continue
+            delay = self.topo.latency(packet.src, host) + self.proc_delay
+            self.sim.call_after(delay, self._deliver, packet, host, handler)
+        return delivered
+
+    def _deliver(self, packet: Packet, host: str, handler: Handler) -> None:
+        # The host may have crashed or left the channel while in flight.
+        if not self.topo.is_up(host):
+            return
+        if self._subs.get(packet.channel, {}).get(host) is not handler:
+            return
+        self.meter.record(self.sim.now, host, "rx", packet.kind, packet.size)
+        handler(packet)

@@ -1,0 +1,57 @@
+"""Packet model.
+
+Packets are plain value objects; protocols attach arbitrary payloads.  The
+``size`` field drives bandwidth accounting and must be set by the sender —
+protocol code computes it from the same per-node membership-description size
+the paper measured (228 bytes, Section 6.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Packet"]
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A datagram in flight.
+
+    Attributes
+    ----------
+    src:
+        Sending host name.
+    dst:
+        Destination host for unicast, or ``None`` for multicast.
+    channel:
+        Multicast channel id for multicast, or ``None`` for unicast.
+    ttl:
+        TTL the packet was sent with (multicast scoping); unicast packets
+        use a large default.
+    kind:
+        Protocol-level packet type (``"heartbeat"``, ``"update"``, ...);
+        used by traces and bandwidth breakdowns.
+    payload:
+        Opaque protocol data.
+    size:
+        Wire size in bytes (headers included) used for bandwidth metering.
+    """
+
+    src: str
+    kind: str
+    payload: Any
+    size: int
+    dst: Optional[str] = None
+    channel: Optional[str] = None
+    ttl: int = 64
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("packet size must be non-negative")
+        if (self.dst is None) == (self.channel is None):
+            raise ValueError("exactly one of dst (unicast) or channel (multicast) required")

@@ -1,0 +1,263 @@
+"""Cluster network topology with TTL-hop semantics.
+
+The model distinguishes three device kinds:
+
+* **hosts** — run protocol stacks; the only senders/receivers;
+* **switches** — layer-2 devices; forwarding through them does *not*
+  decrement an IP TTL;
+* **routers** — layer-3 devices; each traversal costs one TTL unit.
+
+The paper (Section 2) uses the TTL field to scope multicast: a packet sent
+with TTL 1 reaches exactly the sender's L2 segment, TTL 2 additionally
+crosses one router, and so on.  We therefore define
+
+``ttl_distance(a, b) = 1 + (minimum number of routers on an a→b path)``
+
+choosing, among shortest-latency paths, the one crossing fewest routers is
+unnecessary: we minimise router crossings directly, since that is what TTL
+scoping keys on, and use the same path's latency for delivery timing.
+
+Hosts may span multiple **data centers** (``dc`` attribute).  Multicast never
+crosses a DC boundary (the paper notes multicast is generally unavailable
+over VPN/Internet); unicast does, over WAN edges.
+
+Failure model: hosts, switches and routers can be marked down.  A downed
+device forwards nothing, so a downed switch partitions its segment exactly
+as the paper's "network partition failures (e.g., switch failures)".
+"""
+
+from __future__ import annotations
+
+import heapq
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["NodeKind", "Topology", "UNREACHABLE"]
+
+#: Sentinel TTL distance for unreachable pairs (partition or inter-DC).
+UNREACHABLE = float("inf")
+
+
+class NodeKind(str, Enum):
+    """Device classes in the topology graph."""
+
+    HOST = "host"
+    SWITCH = "switch"
+    ROUTER = "router"
+
+
+class Topology:
+    """Mutable device graph with cached TTL-distance/latency queries.
+
+    Edges carry a one-way ``latency`` in seconds.  Distance queries run a
+    Dijkstra minimising ``(routers crossed, latency)`` lexicographically so
+    TTL scoping is exact and ties are broken by the fastest path.  Results
+    are cached per source host and invalidated on any mutation (device
+    up/down, link add/remove), which is cheap because failures are rare
+    events in every experiment.
+    """
+
+    def __init__(self) -> None:
+        self._kind: Dict[str, NodeKind] = {}
+        self._up: Dict[str, bool] = {}
+        self._dc: Dict[str, str] = {}
+        self._adj: Dict[str, Dict[str, float]] = {}
+        self._wan_edges: set[Tuple[str, str]] = set()
+        # source host -> {dest host -> (ttl_distance, latency)}
+        self._cache: Dict[str, Dict[str, Tuple[float, float]]] = {}
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, name: str, kind: NodeKind, dc: str = "dc0") -> None:
+        """Add a device.  Names must be unique across kinds."""
+        if name in self._kind:
+            raise ValueError(f"duplicate device {name!r}")
+        self._kind[name] = kind
+        self._up[name] = True
+        self._dc[name] = dc
+        self._adj[name] = {}
+        self._invalidate()
+
+    def add_host(self, name: str, dc: str = "dc0") -> None:
+        self.add_node(name, NodeKind.HOST, dc)
+
+    def add_switch(self, name: str, dc: str = "dc0") -> None:
+        self.add_node(name, NodeKind.SWITCH, dc)
+
+    def add_router(self, name: str, dc: str = "dc0") -> None:
+        self.add_node(name, NodeKind.ROUTER, dc)
+
+    def add_link(self, a: str, b: str, latency: float = 0.0001, wan: bool = False) -> None:
+        """Connect two devices with a bidirectional link.
+
+        ``wan=True`` marks an inter-data-center link: multicast never uses
+        it, and it is typically high-latency (e.g. 45 ms one way for the
+        paper's 90 ms RTT).
+        """
+        for name in (a, b):
+            if name not in self._kind:
+                raise ValueError(f"unknown device {name!r}")
+        if a == b:
+            raise ValueError("self-links are not allowed")
+        self._adj[a][b] = latency
+        self._adj[b][a] = latency
+        if wan:
+            self._wan_edges.add((a, b))
+            self._wan_edges.add((b, a))
+        self._invalidate()
+
+    def remove_link(self, a: str, b: str) -> None:
+        self._adj[a].pop(b, None)
+        self._adj[b].pop(a, None)
+        self._wan_edges.discard((a, b))
+        self._wan_edges.discard((b, a))
+        self._invalidate()
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def kind(self, name: str) -> NodeKind:
+        return self._kind[name]
+
+    def dc(self, name: str) -> str:
+        return self._dc[name]
+
+    def is_up(self, name: str) -> bool:
+        return self._up[name]
+
+    def set_up(self, name: str, up: bool) -> None:
+        """Mark a device up/down.  Downed devices forward nothing."""
+        if name not in self._kind:
+            raise ValueError(f"unknown device {name!r}")
+        if self._up[name] != up:
+            self._up[name] = up
+            self._invalidate()
+
+    def hosts(self, dc: Optional[str] = None) -> List[str]:
+        """All host names, optionally restricted to one data center."""
+        return [
+            n
+            for n, k in self._kind.items()
+            if k is NodeKind.HOST and (dc is None or self._dc[n] == dc)
+        ]
+
+    def devices(self, kind: Optional[NodeKind] = None) -> List[str]:
+        return [n for n, k in self._kind.items() if kind is None or k is kind]
+
+    def datacenters(self) -> List[str]:
+        return sorted({self._dc[n] for n in self._kind})
+
+    def neighbors(self, name: str) -> Iterable[str]:
+        return self._adj[name].keys()
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every mutation (for cache layering)."""
+        return self._version
+
+    # ------------------------------------------------------------------
+    # Distance queries
+    # ------------------------------------------------------------------
+    def ttl_distance(self, src: str, dst: str) -> float:
+        """TTL needed for a packet from ``src`` to reach ``dst``.
+
+        ``1`` means same L2 segment; each router traversal adds one.
+        Returns :data:`UNREACHABLE` if no live non-WAN path exists (WAN
+        links do not carry multicast, and TTL grouping is per-DC).
+        """
+        return self._distances(src).get(dst, (UNREACHABLE, UNREACHABLE))[0]
+
+    def latency(self, src: str, dst: str) -> float:
+        """One-way latency along the TTL-minimal live path (WAN excluded)."""
+        return self._distances(src).get(dst, (UNREACHABLE, UNREACHABLE))[1]
+
+    def unicast_latency(self, src: str, dst: str) -> float:
+        """One-way latency for unicast, which *may* traverse WAN links."""
+        if src == dst:
+            return 0.0
+        dist = self._unicast_distances(src)
+        return dist.get(dst, UNREACHABLE)
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """True if unicast can currently get from ``src`` to ``dst``."""
+        return self.unicast_latency(src, dst) != UNREACHABLE
+
+    def hosts_within(self, src: str, ttl: int) -> List[str]:
+        """Hosts (other than ``src``) within ``ttl`` of ``src``; live paths only."""
+        dist = self._distances(src)
+        return [h for h, (d, _lat) in dist.items() if h != src and d <= ttl]
+
+    def max_ttl_diameter(self, dc: Optional[str] = None) -> int:
+        """Largest finite TTL distance between any two live hosts (per DC)."""
+        best = 0
+        for h in self.hosts(dc):
+            if not self._up[h]:
+                continue
+            for other, (d, _lat) in self._distances(h).items():
+                if other != h and d != UNREACHABLE:
+                    best = max(best, int(d))
+        return best
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        self._cache.clear()
+        self._ucache: Dict[str, Dict[str, float]] = {}
+        self._version += 1
+
+    def _distances(self, src: str) -> Dict[str, Tuple[float, float]]:
+        """(ttl, latency) to every reachable host, excluding WAN edges."""
+        cached = self._cache.get(src)
+        if cached is not None:
+            return cached
+        result: Dict[str, Tuple[float, float]] = {}
+        if not self._up.get(src, False):
+            self._cache[src] = result
+            return result
+        # Dijkstra on (routers_crossed, latency).
+        seen: Dict[str, Tuple[float, float]] = {}
+        pq: List[Tuple[float, float, str]] = [(0.0, 0.0, src)]
+        while pq:
+            routers, lat, node = heapq.heappop(pq)
+            if node in seen:
+                continue
+            seen[node] = (routers, lat)
+            for nxt, edge_lat in self._adj[node].items():
+                if nxt in seen or not self._up[nxt]:
+                    continue
+                if (node, nxt) in self._wan_edges:
+                    continue  # multicast never crosses WAN
+                cost = routers + (1.0 if self._kind[nxt] is NodeKind.ROUTER else 0.0)
+                heapq.heappush(pq, (cost, lat + edge_lat, nxt))
+        for node, (routers, lat) in seen.items():
+            if self._kind[node] is NodeKind.HOST:
+                result[node] = (routers + 1.0 if node != src else 0.0, lat)
+        self._cache[src] = result
+        return result
+
+    def _unicast_distances(self, src: str) -> Dict[str, float]:
+        cached = getattr(self, "_ucache", {}).get(src)
+        if cached is not None:
+            return cached
+        if not hasattr(self, "_ucache"):
+            self._ucache = {}
+        result: Dict[str, float] = {}
+        if self._up.get(src, False):
+            seen: Dict[str, float] = {}
+            pq: List[Tuple[float, str]] = [(0.0, src)]
+            while pq:
+                lat, node = heapq.heappop(pq)
+                if node in seen:
+                    continue
+                seen[node] = lat
+                for nxt, edge_lat in self._adj[node].items():
+                    if nxt not in seen and self._up[nxt]:
+                        heapq.heappush(pq, (lat + edge_lat, nxt))
+            for node, lat in seen.items():
+                if self._kind[node] is NodeKind.HOST and node != src:
+                    result[node] = lat
+        self._ucache[src] = result
+        return result

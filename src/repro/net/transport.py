@@ -1,0 +1,119 @@
+"""Unicast UDP transport with loss, latency, and virtual addresses.
+
+Two features beyond plain datagram delivery:
+
+* **Ports.**  A host binds handlers to named ports (``"membership"``,
+  ``"service"``, ``"informer"``, ...) mirroring the daemon's listening
+  sockets.
+* **Virtual addresses.**  The proxy protocol exposes one external IP per
+  data center, taken over by the new proxy leader on failover (Section
+  3.2).  ``bind_address``/``take_over_address`` map a stable address string
+  to the host currently owning it; senders address packets to the virtual
+  address and the transport resolves it at send time — so in-flight packets
+  to a dead leader are lost, exactly like real IP takeover.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.net.bandwidth import BandwidthMeter
+from repro.net.packet import Packet
+from repro.net.topology import Topology, UNREACHABLE
+from repro.sim.engine import Simulator
+
+__all__ = ["UnicastTransport"]
+
+Handler = Callable[[Packet], None]
+
+
+class UnicastTransport:
+    """Point-to-point datagram delivery over the topology graph."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topo: Topology,
+        meter: BandwidthMeter,
+        loss_rate: float = 0.0,
+        loss_rng: Optional[random.Random] = None,
+        proc_delay: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.topo = topo
+        self.meter = meter
+        self.loss_rate = loss_rate
+        self.loss_rng = loss_rng
+        self.proc_delay = proc_delay
+        self._ports: Dict[Tuple[str, str], Handler] = {}
+        self._addresses: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+    def bind(self, host: str, port: str, handler: Handler) -> None:
+        """Attach ``handler`` to (host, port); replaces a previous binding."""
+        self._ports[(host, port)] = handler
+
+    def unbind(self, host: str, port: str) -> None:
+        self._ports.pop((host, port), None)
+
+    def unbind_all(self, host: str) -> None:
+        for key in [k for k in self._ports if k[0] == host]:
+            del self._ports[key]
+
+    def bind_address(self, address: str, host: str) -> None:
+        """Point virtual ``address`` at ``host`` (initial claim or failover)."""
+        self._addresses[address] = host
+
+    def release_address(self, address: str) -> None:
+        self._addresses.pop(address, None)
+
+    def resolve(self, address: str) -> Optional[str]:
+        """Host currently owning ``address``; host names resolve to themselves."""
+        if address in self._addresses:
+            return self._addresses[address]
+        if address in self.topo.devices():
+            return address
+        return None
+
+    def address_owner(self, address: str) -> Optional[str]:
+        return self._addresses.get(address)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet, port: str = "membership") -> bool:
+        """Send ``packet`` to ``packet.dst`` (a host or virtual address).
+
+        Returns True if a delivery was scheduled (the packet may still be
+        lost in flight or find the destination dead on arrival).
+        """
+        if packet.dst is None:
+            raise ValueError("unicast send requires packet.dst")
+        if not self.topo.is_up(packet.src):
+            return False
+        self.meter.record(self.sim.now, packet.src, "tx", packet.kind, packet.size)
+        host = self.resolve(packet.dst)
+        if host is None:
+            return False
+        latency = self.topo.unicast_latency(packet.src, host)
+        if latency == UNREACHABLE:
+            return False
+        if self.loss_rng is not None and self.loss_rate > 0.0:
+            if self.loss_rng.random() < self.loss_rate:
+                return False
+        self.sim.call_after(latency + self.proc_delay, self._deliver, packet, host, port)
+        return True
+
+    def _deliver(self, packet: Packet, host: str, port: str) -> None:
+        if not self.topo.is_up(host):
+            return
+        handler = self._ports.get((host, port))
+        if handler is None:
+            return
+        self.meter.record(self.sim.now, host, "rx", packet.kind, packet.size)
+        handler(packet)

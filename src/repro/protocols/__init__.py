@@ -1,0 +1,25 @@
+"""Membership protocols: the two baselines the paper compares against.
+
+* :mod:`repro.protocols.alltoall` — every node multicasts heartbeats to the
+  whole cluster and maintains its directory independently (Neptune's
+  original small-cluster scheme, Section 2).
+* :mod:`repro.protocols.gossip` — the van Renesse et al. gossip-style
+  failure-detection service the paper uses as its wide-area baseline.
+
+The paper's own hierarchical protocol lives in :mod:`repro.core`; all three
+share the :class:`~repro.protocols.base.MembershipNode` interface so the
+experiment harness can run identical scenarios against each scheme.
+"""
+
+from repro.protocols.base import MembershipNode, ProtocolConfig, deploy
+from repro.protocols.alltoall import AllToAllNode
+from repro.protocols.gossip import GossipNode, gossip_fail_time
+
+__all__ = [
+    "MembershipNode",
+    "ProtocolConfig",
+    "deploy",
+    "AllToAllNode",
+    "GossipNode",
+    "gossip_fail_time",
+]

@@ -1,0 +1,194 @@
+"""Common interface and configuration for all membership protocols.
+
+Every protocol node owns a :class:`~repro.cluster.directory.Directory` (its
+yellow pages), publishes a :class:`~repro.cluster.directory.NodeRecord`
+about itself, and emits the trace events the experiment harness keys on:
+
+========================  =====================================================
+``member_up``             observer ``node`` added ``target`` to its directory
+``member_down``           observer ``node`` removed ``target`` (failure/purge)
+========================  =====================================================
+
+Packet sizing follows the paper's measurement: "The average packet size
+carrying the membership information of each node is measured as 228 bytes"
+(Section 6.2), so a message carrying *k* member descriptions costs
+``header + k * member_size`` bytes on the wire.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Type
+
+from repro.cluster.directory import Directory, NodeRecord
+from repro.cluster.machine import MachineInfo
+from repro.cluster.service import ServiceSpec
+from repro.net.network import Network
+
+__all__ = ["ProtocolConfig", "MembershipNode", "deploy"]
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunables shared by the three schemes.
+
+    Defaults reproduce the paper's evaluation settings (Section 6.2): one
+    heartbeat/gossip packet per second, a node declared dead after 5
+    consecutive missed heartbeats, and 228-byte member descriptions.
+    """
+
+    heartbeat_period: float = 1.0
+    max_loss: int = 5
+    member_size: int = 228
+    header_size: int = 28  # IP + UDP headers
+    max_ttl: int = 8
+    #: gossip-only: fan-out per round and mistake probability bound.
+    gossip_fanout: int = 1
+    gossip_mistake_prob: float = 0.001
+    #: hierarchical-only knobs live in repro.core.config.HierarchicalConfig.
+
+    @property
+    def fail_timeout(self) -> float:
+        """Heartbeat-based declaration threshold: ``max_loss`` missed beats."""
+        return self.max_loss * self.heartbeat_period
+
+    def message_size(self, members: int) -> int:
+        """Wire size of a packet describing ``members`` nodes."""
+        return self.header_size + self.member_size * members
+
+
+class MembershipNode(ABC):
+    """One node's protocol stack (daemon process in the paper's terms).
+
+    Subclasses implement :meth:`start` / :meth:`stop` and keep
+    ``self.directory`` equal to the node's current view.  ``stop`` models a
+    daemon kill: all timers are cancelled and state dropped; a subsequent
+    ``start`` re-joins from scratch with a bumped incarnation.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        node_id: str,
+        config: Optional[ProtocolConfig] = None,
+        services: Sequence[ServiceSpec] = (),
+        machine: Optional[MachineInfo] = None,
+    ) -> None:
+        self.network = network
+        self.node_id = node_id
+        self.config = config if config is not None else ProtocolConfig()
+        self.machine = machine if machine is not None else MachineInfo()
+        self._services: Dict[str, ServiceSpec] = {s.name: s for s in services}
+        self._extra_attrs: Dict[str, str] = {}
+        self.incarnation = 0
+        self.directory = Directory(node_id)
+        self.running = False
+        self.rng = network.rng.stream(f"proto.{node_id}")
+
+    # ------------------------------------------------------------------
+    # Self description
+    # ------------------------------------------------------------------
+    def self_record(self) -> NodeRecord:
+        """The record this node currently publishes about itself."""
+        return NodeRecord(
+            node_id=self.node_id,
+            incarnation=self.incarnation,
+            services={name: spec.partitions for name, spec in self._services.items()},
+            attrs={**self.machine.to_attrs(), **self._extra_attrs},
+        )
+
+    def register_service(self, spec: ServiceSpec) -> None:
+        """Publish a service through the membership protocol (MService API)."""
+        self._services[spec.name] = spec
+        if self.running:
+            self._self_changed()
+
+    def unregister_service(self, name: str) -> None:
+        self._services.pop(name, None)
+        if self.running:
+            self._self_changed()
+
+    def update_value(self, key: str, value: str) -> None:
+        """Publish a key-value pair (``MService::update_value``)."""
+        self._extra_attrs[key] = value
+        if self.running:
+            self._self_changed()
+
+    def delete_value(self, key: str) -> None:
+        self._extra_attrs.pop(key, None)
+        if self.running:
+            self._self_changed()
+
+    def _self_changed(self) -> None:
+        """Hook: the published self-record changed while running."""
+        self.directory.upsert(self.self_record(), self.network.now)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def start(self) -> None:
+        """Join the protocol (bind channels/ports, arm timers)."""
+
+    @abstractmethod
+    def stop(self) -> None:
+        """Kill the daemon: drop state and go silent."""
+
+    # ------------------------------------------------------------------
+    # View helpers used by experiments
+    # ------------------------------------------------------------------
+    def view(self) -> List[str]:
+        """Sorted node ids currently believed alive."""
+        return self.directory.members()
+
+    def knows(self, node_id: str) -> bool:
+        return node_id in self.directory
+
+    # ------------------------------------------------------------------
+    # Trace hooks (shared vocabulary across protocols)
+    # ------------------------------------------------------------------
+    def _emit_view_reset(self) -> None:
+        """Trace that this node's directory was wiped (daemon [re]start).
+
+        Metric reconstruction needs it: without the reset marker a
+        restarted node would appear to still hold its pre-crash view.
+        """
+        self.network.trace.emit(self.network.now, "view_reset", node=self.node_id)
+
+    def _emit_member_up(self, target: str) -> None:
+        self.network.trace.emit(
+            self.network.now, "member_up", node=self.node_id, target=target
+        )
+
+    def _emit_member_down(self, target: str, reason: str = "timeout") -> None:
+        self.network.trace.emit(
+            self.network.now, "member_down", node=self.node_id, target=target, reason=reason
+        )
+
+
+def deploy(
+    node_cls: Type[MembershipNode],
+    network: Network,
+    hosts: Iterable[str],
+    config: Optional[ProtocolConfig] = None,
+    services: Optional[Dict[str, Sequence[ServiceSpec]]] = None,
+    start: bool = True,
+    **node_kwargs: object,
+) -> Dict[str, MembershipNode]:
+    """Instantiate (and optionally start) one protocol node per host.
+
+    ``services`` optionally maps host -> service specs to export.  Extra
+    keyword arguments are forwarded to the node constructor, letting
+    callers pass scheme-specific options (e.g. gossip seeds).
+    """
+    nodes: Dict[str, MembershipNode] = {}
+    for host in hosts:
+        specs = (services or {}).get(host, ())
+        nodes[host] = node_cls(
+            network, host, config=config, services=specs, **node_kwargs
+        )
+    if start:
+        for node in nodes.values():
+            node.start()
+    return nodes

@@ -1,0 +1,221 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns a virtual clock and a priority queue of scheduled
+callbacks.  :meth:`Simulator.run` pops events in ``(time, priority, seq)``
+order and executes them until the queue drains, a time horizon is reached, or
+a stop is requested.
+
+The kernel is deliberately small: multicast fabrics, transports, protocol
+nodes and experiment harnesses are all built on these few primitives.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Optional
+
+__all__ = ["Simulator", "ScheduledEvent", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, re-running, ...)."""
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports O(1) cancellation.
+
+    Cancellation marks the entry dead rather than removing it from the heap;
+    the run loop skips dead entries when they surface.  This keeps both
+    :meth:`Simulator.call_at` and :meth:`cancel` cheap, which matters because
+    heartbeat-timeout style protocols cancel timers constantly.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+        # Drop references eagerly: a cancelled timer should not pin its
+        # closure (and transitively a dead node's state) until it surfaces.
+        self.fn = _noop
+        self.args = ()
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent t={self.time:.6f} prio={self.priority} seq={self.seq} {state}>"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Simulator:
+    """Single-threaded deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the virtual clock, in seconds.
+
+    Notes
+    -----
+    Events scheduled for the same instant fire in ``(priority, seq)`` order
+    where ``seq`` is the global scheduling order.  Lower priority values fire
+    first; the default priority is 0.  Protocol code should not rely on
+    priorities except to model genuinely ordered mechanisms (e.g. "deliver
+    the packet before the timeout that was armed later").
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of callbacks executed so far (for perf accounting)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued (possibly cancelled) entries; O(1)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` at absolute virtual ``time``.
+
+        Returns a :class:`ScheduledEvent` that may be cancelled.  Scheduling
+        strictly in the past raises :class:`SimulationError`; scheduling at
+        exactly ``now`` is allowed and fires after currently-executing work.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f} < now={self._now:.6f}"
+            )
+        if math.isnan(time):
+            raise SimulationError("cannot schedule at NaN time")
+        ev = ScheduledEvent(float(time), priority, next(self._seq), fn, args)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def call_after(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.call_at(self._now + delay, fn, *args, priority=priority)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Execute events until the queue drains or a limit is hit.
+
+        Parameters
+        ----------
+        until:
+            Inclusive time horizon.  Events scheduled strictly after
+            ``until`` remain queued and the clock is advanced to ``until``.
+        max_events:
+            Safety valve for runaway simulations.
+
+        Returns
+        -------
+        float
+            The virtual time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("run() is not re-entrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            queue = self._queue
+            while queue and not self._stopped:
+                ev = queue[0]
+                if ev.cancelled:
+                    heapq.heappop(queue)
+                    continue
+                if until is not None and ev.time > until:
+                    break
+                heapq.heappop(queue)
+                self._now = ev.time
+                ev.fn(*ev.args)
+                self._events_executed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            if until is not None and not self._stopped and self._now < until:
+                # Drained (or hit the horizon) before `until`: advance clock.
+                if not queue or queue[0].time > until or queue[0].cancelled:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Execute exactly one pending event.  Returns False if none remain."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            ev.fn(*ev.args)
+            self._events_executed += 1
+            return True
+        return False
+
+    def peek(self) -> Optional[float]:
+        """Time of the next live event, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None

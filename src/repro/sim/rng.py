@@ -1,0 +1,47 @@
+"""Named, seeded random-number streams.
+
+Every stochastic decision in a simulation (packet loss, gossip peer choice,
+jitter, service times) draws from a stream obtained by name from a
+:class:`RngRegistry`.  Stream seeds are derived deterministically from the
+registry's root seed and the stream name, so
+
+* the same ``(seed, name)`` always yields the same sequence, and
+* adding a new consumer of randomness does not perturb existing streams —
+  which keeps regression comparisons between protocol variants meaningful.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+__all__ = ["RngRegistry"]
+
+
+class RngRegistry:
+    """Factory for deterministic per-purpose :class:`random.Random` streams."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating on first use) the stream called ``name``."""
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def spawn(self, name: str) -> "RngRegistry":
+        """Derive a child registry whose root seed depends on ``name``.
+
+        Used to give each node its own registry while staying reproducible.
+        """
+        digest = hashlib.sha256(f"{self.seed}:spawn:{name}".encode()).digest()
+        return RngRegistry(int.from_bytes(digest[:8], "big"))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RngRegistry(seed={self.seed}, streams={sorted(self._streams)})"

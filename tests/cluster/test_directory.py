@@ -1,0 +1,221 @@
+"""Unit tests for the yellow-page directory."""
+
+import pytest
+
+from repro.cluster import Directory, NodeRecord, parse_partitions
+
+
+def rec(node_id, incarnation=0, services=None, attrs=None):
+    return NodeRecord(
+        node_id=node_id,
+        incarnation=incarnation,
+        services={k: frozenset(v) for k, v in (services or {}).items()},
+        attrs=attrs or {},
+    )
+
+
+class TestParsePartitions:
+    def test_single(self):
+        assert parse_partitions("3") == frozenset({3})
+
+    def test_range(self):
+        assert parse_partitions("1-3") == frozenset({1, 2, 3})
+
+    def test_mixed(self):
+        assert parse_partitions("1-3,5") == frozenset({1, 2, 3, 5})
+
+    def test_whitespace(self):
+        assert parse_partitions(" 1 , 2-3 ") == frozenset({1, 2, 3})
+
+    def test_empty(self):
+        assert parse_partitions("") == frozenset()
+
+    def test_descending_range_rejected(self):
+        with pytest.raises(ValueError):
+            parse_partitions("3-1")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_partitions("1,,2")
+
+
+class TestNodeRecord:
+    def test_supersedes_same_or_higher_incarnation(self):
+        a0, a1 = rec("a", 0), rec("a", 1)
+        assert a1.supersedes(a0)
+        assert a0.supersedes(a0)
+        assert not a0.supersedes(a1)
+
+    def test_supersedes_different_node_false(self):
+        assert not rec("a").supersedes(rec("b"))
+
+    def test_with_service_string_spec(self):
+        r = rec("a").with_service("index", "1-3")
+        assert r.services["index"] == frozenset({1, 2, 3})
+
+    def test_with_service_iterable(self):
+        r = rec("a").with_service("doc", [4, 5])
+        assert r.services["doc"] == frozenset({4, 5})
+
+    def test_with_attr_and_without(self):
+        r = rec("a").with_attr("Port", "8080")
+        assert r.attrs["Port"] == "8080"
+        assert "Port" not in r.without_attr("Port").attrs
+
+    def test_functional_updates_do_not_mutate(self):
+        r = rec("a")
+        r.with_service("x", "1")
+        assert r.services == {}
+
+
+class TestUpsert:
+    def test_insert_reports_change(self):
+        d = Directory("me")
+        assert d.upsert(rec("a"), now=1.0)
+        assert "a" in d and len(d) == 1
+
+    def test_identical_upsert_reports_no_change_but_refreshes(self):
+        d = Directory("me")
+        d.upsert(rec("a"), now=1.0)
+        assert not d.upsert(rec("a"), now=5.0)
+        assert d.last_refresh("a") == 5.0
+
+    def test_lower_incarnation_loses(self):
+        d = Directory("me")
+        d.upsert(rec("a", incarnation=2), now=1.0)
+        assert not d.upsert(rec("a", incarnation=1), now=2.0)
+        assert d.get("a").incarnation == 2
+        assert d.last_refresh("a") == 1.0  # stale record must not refresh
+
+    def test_higher_incarnation_wins(self):
+        d = Directory("me")
+        d.upsert(rec("a", 0, services={"x": {1}}), now=1.0)
+        assert d.upsert(rec("a", 1), now=2.0)
+        assert d.get("a").incarnation == 1
+        assert d.get("a").services == {}
+
+    def test_same_incarnation_payload_change_is_visible(self):
+        d = Directory("me")
+        d.upsert(rec("a", 0), now=1.0)
+        assert d.upsert(rec("a", 0, attrs={"load": "5"}), now=2.0)
+
+    def test_upsert_idempotent(self):
+        d = Directory("me")
+        r = rec("a", 1, services={"x": {1}})
+        d.upsert(r, now=1.0)
+        d.upsert(r, now=1.0)
+        assert len(d) == 1
+
+
+class TestRemoveAndPurge:
+    def test_remove(self):
+        d = Directory("me")
+        d.upsert(rec("a"), now=0.0)
+        assert d.remove("a")
+        assert not d.remove("a")
+        assert "a" not in d
+
+    def test_purge_stale_direct_entries(self):
+        d = Directory("me")
+        d.upsert(rec("a"), now=0.0)
+        d.upsert(rec("b"), now=4.0)
+        assert d.purge_stale(now=5.0, timeout=3.0) == ["a"]
+        assert "b" in d
+
+    def test_purge_never_removes_owner(self):
+        d = Directory("me")
+        d.upsert(rec("me"), now=0.0)
+        assert d.purge_stale(now=100.0, timeout=1.0) == []
+
+    def test_purge_stale_skips_relayed(self):
+        d = Directory("me")
+        d.upsert(rec("far"), now=0.0, relayed_by="leader")
+        assert d.purge_stale(now=100.0, timeout=1.0) == []
+        assert d.purge_stale_relayed(now=100.0, timeout=1.0) == ["far"]
+
+    def test_purge_relayed_by_leader(self):
+        d = Directory("me")
+        d.upsert(rec("x"), now=0.0, relayed_by="L1")
+        d.upsert(rec("y"), now=0.0, relayed_by="L1")
+        d.upsert(rec("z"), now=0.0, relayed_by="L2")
+        d.upsert(rec("w"), now=0.0)
+        assert sorted(d.purge_relayed_by("L1")) == ["x", "y"]
+        assert d.members() == ["w", "z"]
+
+    def test_refresh_missing_returns_false(self):
+        d = Directory("me")
+        assert not d.refresh("ghost", now=1.0)
+
+    def test_refresh_updates_relay_provenance(self):
+        d = Directory("me")
+        d.upsert(rec("a"), now=0.0, relayed_by="L1")
+        d.refresh("a", now=1.0, relayed_by="L2")
+        assert d.relayed_by("a") == "L2"
+
+
+class TestLookup:
+    def make_dir(self):
+        d = Directory("me")
+        d.upsert(rec("idx1", services={"index": {1, 2}}), now=0.0)
+        d.upsert(rec("idx2", services={"index": {3}}), now=0.0)
+        d.upsert(rec("doc1", services={"doc": {1}}), now=0.0)
+        d.upsert(rec("both", services={"index": {4}, "doc": {2, 3}}), now=0.0)
+        return d
+
+    def test_exact_service(self):
+        d = self.make_dir()
+        ids = [r.node_id for r in d.lookup_service("index")]
+        assert ids == ["both", "idx1", "idx2"]
+
+    def test_partition_range(self):
+        d = self.make_dir()
+        ids = [r.node_id for r in d.lookup_service("index", "1-2")]
+        assert ids == ["idx1"]
+
+    def test_partition_any_overlap(self):
+        d = self.make_dir()
+        ids = [r.node_id for r in d.lookup_service("index", "2-3")]
+        assert ids == ["idx1", "idx2"]
+
+    def test_service_regex(self):
+        d = self.make_dir()
+        ids = [r.node_id for r in d.lookup_service("index|doc")]
+        assert ids == ["both", "doc1", "idx1", "idx2"]
+
+    def test_partition_regex(self):
+        d = self.make_dir()
+        # regex (not range syntax): partitions matching '[34]'
+        ids = [r.node_id for r in d.lookup_service("index", "[34]")]
+        assert ids == ["both", "idx2"]
+
+    def test_no_match(self):
+        d = self.make_dir()
+        assert d.lookup_service("cache") == []
+        assert d.lookup_service("index", "99") == []
+
+    def test_fullmatch_semantics(self):
+        d = Directory("me")
+        d.upsert(rec("n", services={"indexer": {1}}), now=0.0)
+        assert d.lookup_service("index") == []  # 'index' must not match 'indexer'
+        assert len(d.lookup_service("index.*")) == 1
+
+
+class TestSnapshots:
+    def test_snapshot_is_copy(self):
+        d = Directory("me")
+        d.upsert(rec("a"), now=0.0)
+        snap = d.snapshot()
+        d.remove("a")
+        assert "a" in snap
+
+    def test_members_sorted(self):
+        d = Directory("me")
+        for nid in ["c", "a", "b"]:
+            d.upsert(rec(nid), now=0.0)
+        assert d.members() == ["a", "b", "c"]
+
+    def test_clear(self):
+        d = Directory("me")
+        d.upsert(rec("a"), now=0.0)
+        d.clear()
+        assert len(d) == 0

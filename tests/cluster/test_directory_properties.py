@@ -1,0 +1,117 @@
+"""Property-based tests for the yellow-page directory (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Directory, NodeRecord, parse_partitions
+
+node_ids = st.sampled_from([f"n{i}" for i in range(6)])
+incarnations = st.integers(min_value=0, max_value=5)
+
+
+@st.composite
+def records(draw):
+    nid = draw(node_ids)
+    inc = draw(incarnations)
+    nparts = draw(st.integers(min_value=0, max_value=4))
+    services = {"svc": frozenset(range(nparts))} if nparts else {}
+    attrs = {"k": draw(st.sampled_from(["a", "b", "c"]))}
+    return NodeRecord(nid, incarnation=inc, services=services, attrs=attrs)
+
+
+@st.composite
+def operations(draw):
+    """A random op: (kind, record-or-id, time)."""
+    kind = draw(st.sampled_from(["upsert", "remove", "refresh"]))
+    rec = draw(records())
+    t = draw(st.floats(min_value=0, max_value=100, allow_nan=False))
+    relayer = draw(st.one_of(st.none(), st.sampled_from(["L1", "L2"])))
+    return (kind, rec, t, relayer)
+
+
+class TestDirectoryProperties:
+    @given(st.lists(operations(), max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_incarnation_never_regresses(self, ops):
+        """After any op sequence, each entry holds the max incarnation ever
+        successfully upserted since its last removal."""
+        d = Directory("owner")
+        best = {}
+        for kind, rec, t, relayer in ops:
+            if kind == "upsert":
+                d.upsert(rec, t, relayed_by=relayer)
+                best[rec.node_id] = max(best.get(rec.node_id, -1), rec.incarnation)
+            elif kind == "remove":
+                d.remove(rec.node_id)
+                best.pop(rec.node_id, None)
+            else:
+                d.refresh(rec.node_id, t, relayed_by=relayer)
+        for nid, inc in best.items():
+            assert d.get(nid) is not None
+            assert d.get(nid).incarnation == inc
+
+    @given(st.lists(records(), min_size=1, max_size=20))
+    @settings(max_examples=200, deadline=None)
+    def test_upsert_idempotent(self, recs):
+        """Replaying the same sequence twice gives the same directory."""
+        d1, d2 = Directory("o"), Directory("o")
+        for r in recs:
+            d1.upsert(r, 1.0)
+            d2.upsert(r, 1.0)
+            d2.upsert(r, 1.0)  # duplicate delivery (overlapping groups)
+        assert d1.snapshot() == d2.snapshot()
+
+    @given(st.lists(records(), max_size=20), st.floats(min_value=0, max_value=50))
+    @settings(max_examples=100, deadline=None)
+    def test_members_sorted_and_consistent(self, recs, now):
+        d = Directory("o")
+        for r in recs:
+            d.upsert(r, now)
+        members = d.members()
+        assert members == sorted(members)
+        assert len(members) == len(d)
+        for nid in members:
+            assert nid in d
+
+    @given(st.lists(records(), max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_purge_relayed_by_removes_exactly_attribution(self, recs):
+        d = Directory("o")
+        for i, r in enumerate(recs):
+            d.upsert(r, 0.0, relayed_by="L1" if i % 2 else "L2")
+        attributed = set(d.relayed_entries("L1"))
+        purged = set(d.purge_relayed_by("L1"))
+        assert purged == attributed
+        assert not d.relayed_entries("L1")
+
+    @given(
+        st.lists(records(), max_size=15),
+        st.floats(min_value=1.0, max_value=10.0),
+        st.floats(min_value=11.0, max_value=50.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_purge_stale_only_removes_expired(self, recs, timeout, now):
+        d = Directory("o")
+        for i, r in enumerate(recs):
+            d.upsert(r, float(i))  # staggered refresh times
+        dead = d.purge_stale(now, timeout)
+        for nid in dead:
+            assert nid not in d
+        for nid in d.members():
+            assert nid == "o" or now - d.last_refresh(nid) <= timeout
+
+
+class TestPartitionSpecProperties:
+    @given(st.sets(st.integers(min_value=0, max_value=200), max_size=30))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_through_spec_string(self, parts):
+        spec = ",".join(str(p) for p in sorted(parts))
+        assert parse_partitions(spec) == frozenset(parts)
+
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_range_expands(self, lo, width):
+        assert parse_partitions(f"{lo}-{lo + width}") == frozenset(range(lo, lo + width + 1))

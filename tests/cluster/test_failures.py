@@ -1,0 +1,91 @@
+"""Tests for the scripted failure schedule."""
+
+import pytest
+
+from repro.cluster import FailureSchedule
+from repro.core import HierarchicalNode
+from repro.net import Network
+from repro.net.builders import build_switched_cluster
+from repro.protocols import deploy
+
+
+def make(n=6, seed=1):
+    topo, hosts = build_switched_cluster(2, n // 2)
+    net = Network(topo, seed=seed)
+    nodes = deploy(HierarchicalNode, net, hosts)
+    sched = FailureSchedule(net)
+    for h, node in nodes.items():
+        sched.register_stack(h, node)
+    return net, hosts, nodes, sched
+
+
+class TestFailureSchedule:
+    def test_crash_stops_stack_and_host(self):
+        net, hosts, nodes, sched = make()
+        sched.crash_node_at(12.0, hosts[0])
+        net.run(until=13.0)
+        assert not nodes[hosts[0]].running
+        assert not net.topo.is_up(hosts[0])
+        assert sched.log == [(12.0, "crash", hosts[0])]
+
+    def test_recover_restarts_stack(self):
+        net, hosts, nodes, sched = make()
+        sched.crash_node_at(12.0, hosts[0])
+        sched.recover_node_at(30.0, hosts[0])
+        net.run(until=50.0)
+        assert nodes[hosts[0]].running
+        assert net.topo.is_up(hosts[0])
+        # The restarted node rejoins and regains the full view.
+        assert len(nodes[hosts[0]].view()) == len(hosts)
+        assert [entry[1] for entry in sched.log] == ["crash", "recover"]
+
+    def test_device_failure_and_recovery(self):
+        net, hosts, nodes, sched = make()
+        sched.fail_device_at(15.0, "dc0-sw1")
+        sched.recover_device_at(40.0, "dc0-sw1")
+        net.run(until=90.0)
+        assert net.topo.is_up("dc0-sw1")
+        assert all(len(n.view()) == len(hosts) for n in nodes.values())
+        kinds = [entry[1] for entry in sched.log]
+        assert kinds == ["device_fail", "device_recover"]
+
+    def test_stop_start_single_service(self):
+        net, hosts, nodes, sched = make()
+        target = nodes[hosts[1]]
+        sched.stop_service_at(12.0, hosts[1], target)
+        sched.start_service_at(25.0, hosts[1], target)
+        net.run(until=40.0)
+        assert target.running
+        # Host never went down, only the daemon: device stayed up.
+        assert net.topo.is_up(hosts[1])
+
+    def test_multiple_stacks_per_host(self):
+        net, hosts, nodes, sched = make()
+
+        class Recorder:
+            def __init__(self):
+                self.events = []
+
+            def start(self):
+                self.events.append("start")
+
+            def stop(self):
+                self.events.append("stop")
+
+        extra = Recorder()
+        sched.register_stack(hosts[0], extra)
+        sched.crash_node_at(12.0, hosts[0])
+        sched.recover_node_at(20.0, hosts[0])
+        net.run(until=25.0)
+        assert extra.events == ["stop", "start"]
+
+    def test_full_scenario_converges(self):
+        net, hosts, nodes, sched = make()
+        sched.crash_node_at(14.0, hosts[2])
+        sched.crash_node_at(16.0, hosts[4])
+        sched.recover_node_at(35.0, hosts[2])
+        net.run(until=70.0)
+        expect = sorted(set(hosts) - {hosts[4]})
+        for h, node in nodes.items():
+            if h != hosts[4]:
+                assert node.view() == expect

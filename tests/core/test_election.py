@@ -1,0 +1,135 @@
+"""Unit tests for group state and the bully election with suppression."""
+
+from repro.cluster import NodeRecord
+from repro.core import Decision, GroupState, Heartbeat, decide
+
+
+def hb(node_id, level=0, is_leader=False, suppressed=False, backup=None, inc=1):
+    return Heartbeat(
+        record=NodeRecord(node_id, incarnation=inc),
+        level=level,
+        is_leader=is_leader,
+        suppressed=suppressed,
+        backup=backup,
+    )
+
+
+class TestGroupState:
+    def test_note_heartbeat_new_peer(self):
+        g = GroupState(0)
+        assert g.note_heartbeat(hb("a"), now=1.0)
+        assert not g.note_heartbeat(hb("a"), now=2.0)
+        assert g.peers["a"].last_heard == 2.0
+
+    def test_higher_incarnation_counts_as_new(self):
+        g = GroupState(0)
+        g.note_heartbeat(hb("a", inc=1), now=1.0)
+        assert g.note_heartbeat(hb("a", inc=2), now=2.0)
+
+    def test_purge_silent(self):
+        g = GroupState(0)
+        g.note_heartbeat(hb("a"), now=0.0)
+        g.note_heartbeat(hb("b"), now=4.0)
+        dead = g.purge_silent(now=5.5, timeout=5.0)
+        assert [p.node_id for p in dead] == ["a"]
+        assert "b" in g.peers
+
+    def test_visible_leaders_sorted(self):
+        g = GroupState(0)
+        g.note_heartbeat(hb("z", is_leader=True), now=0.0)
+        g.note_heartbeat(hb("a", is_leader=True), now=0.0)
+        g.note_heartbeat(hb("m"), now=0.0)
+        assert g.visible_leaders() == ["a", "z"]
+
+    def test_current_leader_self_when_leading(self):
+        g = GroupState(0)
+        g.i_am_leader = True
+        assert g.current_leader("me") == "me"
+
+    def test_current_leader_lowest_visible(self):
+        g = GroupState(0)
+        g.note_heartbeat(hb("b", is_leader=True), now=0.0)
+        assert g.current_leader("me") == "b"
+
+    def test_current_leader_none(self):
+        assert GroupState(0).current_leader("me") is None
+
+    def test_contenders_below_excludes_suppressed_and_leaders(self):
+        g = GroupState(0)
+        g.note_heartbeat(hb("a", suppressed=True), now=0.0)
+        g.note_heartbeat(hb("b"), now=0.0)
+        g.note_heartbeat(hb("c", is_leader=True), now=0.0)
+        g.note_heartbeat(hb("z"), now=0.0)
+        assert g.contenders_below("m") == ["b"]
+
+    def test_drop_peer(self):
+        g = GroupState(0)
+        g.note_heartbeat(hb("a"), now=0.0)
+        assert g.drop_peer("a").node_id == "a"
+        assert g.drop_peer("a") is None
+
+
+class TestElection:
+    DELAY = 2.5
+
+    def test_leader_stays_without_conflict(self):
+        g = GroupState(0)
+        g.i_am_leader = True
+        assert decide(g, "m", 10.0, self.DELAY) is Decision.STAY
+
+    def test_leader_steps_down_for_lower_id_leader(self):
+        g = GroupState(0)
+        g.i_am_leader = True
+        g.note_heartbeat(hb("a", is_leader=True), now=0.0)
+        assert decide(g, "m", 10.0, self.DELAY) is Decision.STEP_DOWN
+
+    def test_leader_keeps_post_against_higher_id_leader(self):
+        g = GroupState(0)
+        g.i_am_leader = True
+        g.note_heartbeat(hb("z", is_leader=True), now=0.0)
+        assert decide(g, "m", 10.0, self.DELAY) is Decision.STAY
+
+    def test_visible_leader_suppresses(self):
+        g = GroupState(0)
+        g.note_heartbeat(hb("z", is_leader=True), now=0.0)
+        assert decide(g, "a", 10.0, self.DELAY) is Decision.STAY
+        assert g.suppressed
+        assert g.leaderless_since is None
+
+    def test_contention_requires_delay(self):
+        g = GroupState(0)
+        assert decide(g, "a", 0.0, self.DELAY) is Decision.STAY  # clock starts
+        assert decide(g, "a", 1.0, self.DELAY) is Decision.STAY  # too early
+        assert decide(g, "a", 2.5, self.DELAY) is Decision.BECOME_LEADER
+
+    def test_lowest_id_wins(self):
+        g = GroupState(0)
+        g.note_heartbeat(hb("b"), now=0.0)
+        decide(g, "a", 0.0, self.DELAY)
+        assert decide(g, "a", 3.0, self.DELAY) is Decision.BECOME_LEADER
+
+    def test_higher_id_waits_for_lower_contender(self):
+        g = GroupState(0)
+        g.note_heartbeat(hb("a"), now=0.0)
+        decide(g, "b", 0.0, self.DELAY)
+        assert decide(g, "b", 3.0, self.DELAY) is Decision.STAY
+
+    def test_higher_id_wins_when_lower_is_suppressed(self):
+        # Paper Fig. 4: E (lower id) sees leader D elsewhere, so F leads G'2.
+        g = GroupState(2)
+        g.note_heartbeat(hb("e", suppressed=True), now=0.0)
+        decide(g, "f", 0.0, self.DELAY)
+        assert decide(g, "f", 3.0, self.DELAY) is Decision.BECOME_LEADER
+
+    def test_leader_disappearing_restarts_clock(self):
+        g = GroupState(0)
+        g.note_heartbeat(hb("z", is_leader=True), now=0.0)
+        decide(g, "a", 1.0, self.DELAY)
+        g.drop_peer("z")
+        assert decide(g, "a", 10.0, self.DELAY) is Decision.STAY  # clock restarts
+        assert decide(g, "a", 12.5, self.DELAY) is Decision.BECOME_LEADER
+
+    def test_singleton_group_becomes_leader(self):
+        g = GroupState(1)
+        decide(g, "solo", 0.0, self.DELAY)
+        assert decide(g, "solo", 2.5, self.DELAY) is Decision.BECOME_LEADER

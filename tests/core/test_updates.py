@@ -1,0 +1,174 @@
+"""Unit tests for the update sub-protocol (seq numbers, piggyback, dedup)."""
+
+from repro.cluster import NodeRecord
+from repro.core import UpdateManager, UpdateOp
+
+
+def add_op(nid, inc=1):
+    return UpdateOp("add", nid, inc, NodeRecord(nid, incarnation=inc))
+
+
+def rm_op(nid, inc=1):
+    return UpdateOp("remove", nid, inc)
+
+
+class TestBuild:
+    def test_seq_increments_per_level(self):
+        um = UpdateManager("me")
+        m1 = um.build(0, [add_op("a")])
+        m2 = um.build(0, [add_op("b")])
+        m3 = um.build(1, [add_op("c")])
+        assert (m1.seq, m2.seq, m3.seq) == (1, 2, 1)
+
+    def test_uid_unique_and_carried_through(self):
+        um = UpdateManager("me")
+        m1 = um.build(0, [add_op("a")])
+        m2 = um.build(0, [add_op("b")])
+        assert m1.uid != m2.uid
+        relay = um.build(1, m1.ops, uid=m1.uid, origin=m1.origin)
+        assert relay.uid == m1.uid
+        assert relay.origin == "me"
+
+    def test_piggyback_carries_last_k(self):
+        um = UpdateManager("me", piggyback_depth=3)
+        msgs = [um.build(0, [add_op(f"n{i}")]) for i in range(5)]
+        last = msgs[-1]
+        assert [seq for seq, _uid, _ops in last.piggyback] == [2, 3, 4]
+
+    def test_piggyback_per_level(self):
+        um = UpdateManager("me")
+        um.build(0, [add_op("a")])
+        m = um.build(1, [add_op("b")])
+        assert m.piggyback == ()
+
+    def test_current_seq(self):
+        um = UpdateManager("me")
+        assert um.current_seq(0) == 0
+        um.build(0, [add_op("a")])
+        assert um.current_seq(0) == 1
+
+    def test_message_size(self):
+        um = UpdateManager("me")
+        m = um.build(0, [add_op("a"), rm_op("b")])
+        # header 28 + add 228 + remove 24
+        assert m.size(member_size=228, header_size=28) == 280
+
+    def test_size_includes_piggyback(self):
+        um = UpdateManager("me", piggyback_depth=3)
+        um.build(0, [add_op("a")])
+        m = um.build(0, [add_op("b")])
+        assert m.size(228, 28) == 28 + 228 + 228
+
+
+class TestReceive:
+    def test_in_order_stream(self):
+        alice, bob = UpdateManager("alice"), UpdateManager("bob")
+        for i in range(3):
+            msg = alice.build(0, [add_op(f"n{i}")])
+            out = bob.receive(msg)
+            assert [ops[0].node_id for _uid, ops in out.apply] == [f"n{i}"]
+            assert not out.need_sync
+
+    def test_duplicate_uid_not_reapplied(self):
+        alice, bob = UpdateManager("alice"), UpdateManager("bob")
+        msg = alice.build(0, [add_op("x")])
+        assert len(bob.receive(msg).apply) == 1
+        assert bob.receive(msg).apply == []
+
+    def test_relay_through_second_channel_deduped(self):
+        alice, carol, bob = UpdateManager("alice"), UpdateManager("carol"), UpdateManager("bob")
+        orig = alice.build(0, [add_op("x")])
+        assert len(bob.receive(orig).apply) == 1
+        relay = carol.build(1, orig.ops, uid=orig.uid, origin=orig.origin)
+        assert bob.receive(relay).apply == []
+
+    def test_gap_recovered_from_piggyback(self):
+        alice, bob = UpdateManager("alice"), UpdateManager("bob")
+        m1 = alice.build(0, [add_op("a")])
+        m2 = alice.build(0, [add_op("b")])  # lost
+        m3 = alice.build(0, [add_op("c")])
+        bob.receive(m1)
+        out = bob.receive(m3)
+        applied = [ops[0].node_id for _uid, ops in out.apply]
+        assert applied == ["b", "c"]  # recovered op first, in seq order
+        assert not out.need_sync
+
+    def test_gap_beyond_piggyback_needs_sync(self):
+        alice, bob = UpdateManager("alice", piggyback_depth=3), UpdateManager("bob", piggyback_depth=3)
+        msgs = [alice.build(0, [add_op(f"n{i}")]) for i in range(6)]
+        bob.receive(msgs[0])
+        out = bob.receive(msgs[5])  # lost seqs 2..5: piggyback has 3..5 only
+        assert out.need_sync
+        # Still recovers what the piggyback carried.
+        recovered = {ops[0].node_id for _uid, ops in out.apply}
+        assert recovered == {"n2", "n3", "n4", "n5"}
+
+    def test_exactly_max_loss_recoverable(self):
+        # piggyback depth 3 tolerates 3 consecutive losses
+        alice, bob = UpdateManager("a"), UpdateManager("b")
+        msgs = [alice.build(0, [add_op(f"n{i}")]) for i in range(5)]
+        bob.receive(msgs[0])
+        out = bob.receive(msgs[4])  # seqs 2,3,4 lost; piggyback = 2,3,4
+        assert not out.need_sync
+        assert len(out.apply) == 4
+
+    def test_reordered_old_packet_is_noop(self):
+        alice, bob = UpdateManager("a"), UpdateManager("b")
+        m1 = alice.build(0, [add_op("a")])
+        m2 = alice.build(0, [add_op("b")])
+        bob.receive(m2)
+        out = bob.receive(m1)  # arrives late; uid already seen via piggyback
+        assert not out.need_sync
+        assert out.apply == []
+
+    def test_streams_per_sender(self):
+        a1, a2, bob = UpdateManager("s1"), UpdateManager("s2"), UpdateManager("bob")
+        bob.receive(a1.build(0, [add_op("x")]))
+        out = bob.receive(a2.build(0, [add_op("y")]))
+        assert not out.need_sync  # different sender, own stream
+
+    def test_forget_sender_resets_stream(self):
+        alice, bob = UpdateManager("a"), UpdateManager("b")
+        for i in range(5):
+            bob.receive(alice.build(0, [add_op(f"n{i}")]))
+        bob.forget_sender("a")
+        fresh = UpdateManager("a")  # restarted daemon, seq restarts at 1
+        out = bob.receive(fresh.build(0, [add_op("z")]))
+        assert len(out.apply) == 1
+        assert not out.need_sync
+
+
+class TestBehind:
+    def test_not_behind_initially_at_zero(self):
+        bob = UpdateManager("b")
+        assert not bob.behind("a", 0, 0)
+
+    def test_behind_when_never_heard(self):
+        bob = UpdateManager("b")
+        assert bob.behind("a", 0, 3)
+
+    def test_behind_when_lagging(self):
+        alice, bob = UpdateManager("a"), UpdateManager("b")
+        bob.receive(alice.build(0, [add_op("x")]))
+        assert not bob.behind("a", 0, 1)
+        assert bob.behind("a", 0, 2)
+
+    def test_note_synced(self):
+        bob = UpdateManager("b")
+        bob.note_synced("a", 0, 5)
+        assert not bob.behind("a", 0, 5)
+        assert bob.behind("a", 0, 6)
+
+    def test_note_synced_never_regresses(self):
+        bob = UpdateManager("b")
+        bob.note_synced("a", 0, 5)
+        bob.note_synced("a", 0, 3)
+        assert not bob.behind("a", 0, 5)
+
+    def test_reset(self):
+        um = UpdateManager("me")
+        um.build(0, [add_op("a")])
+        um.note_synced("x", 0, 9)
+        um.reset()
+        assert um.current_seq(0) == 0
+        assert um.behind("x", 0, 1)

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_detect_defaults(self):
+        args = build_parser().parse_args(["detect"])
+        assert args.scheme == "hierarchical"
+        assert args.networks == 3
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "--scheme", "bogus"])
+
+
+class TestCommands:
+    def test_formation_output(self, capsys):
+        assert main(["formation", "--networks", "2", "--hosts", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "L0:leader" in out
+        assert out.count("view=   6") == 6
+
+    def test_detect_output(self, capsys):
+        code = main(
+            ["detect", "--networks", "1", "--hosts", "5", "--observe", "30"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detection   : 5." in out
+        assert "observers   : 4/4" in out
+
+    def test_detect_kill_leader(self, capsys):
+        code = main(
+            ["detect", "--networks", "1", "--hosts", "5", "--observe", "40", "--kill-leader"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(leader)" in out
+
+    def test_analysis_output(self, capsys):
+        assert main(["analysis", "--sizes", "100", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "hierarchical" in out
+        assert "    100" in out and "   1000" in out
+
+    def test_compare_small(self, capsys):
+        assert main(
+            ["compare", "--networks", "1", "--hosts", "4", "--observe", "40"]
+        ) == 0
+        out = capsys.readouterr().out
+        for scheme in ("all-to-all", "gossip", "hierarchical"):
+            assert scheme in out

@@ -1,0 +1,124 @@
+"""Tests for metric collectors."""
+
+import pytest
+
+from repro.metrics import (
+    accuracy_timeseries,
+    bandwidth_stats,
+    convergence_time,
+    detection_time,
+)
+from repro.net import BandwidthMeter
+from repro.sim import Trace
+
+
+def make_trace(events):
+    tr = Trace()
+    for time, kind, node, target in events:
+        tr.emit(time, kind, node=node, target=target)
+    return tr
+
+
+class TestDetectionConvergence:
+    def test_detection_earliest_record(self):
+        tr = make_trace(
+            [
+                (25.0, "member_down", "n1", "victim"),
+                (26.0, "member_down", "n2", "victim"),
+            ]
+        )
+        assert detection_time(tr, "victim", kill_time=20.0) == pytest.approx(5.0)
+
+    def test_convergence_latest_record(self):
+        tr = make_trace(
+            [
+                (25.0, "member_down", "n1", "victim"),
+                (27.5, "member_down", "n2", "victim"),
+            ]
+        )
+        assert convergence_time(tr, "victim", kill_time=20.0) == pytest.approx(7.5)
+
+    def test_other_targets_ignored(self):
+        tr = make_trace(
+            [
+                (22.0, "member_down", "n1", "other"),
+                (25.0, "member_down", "n1", "victim"),
+            ]
+        )
+        assert detection_time(tr, "victim", 20.0) == pytest.approx(5.0)
+
+    def test_records_before_kill_ignored(self):
+        tr = make_trace(
+            [
+                (10.0, "member_down", "n1", "victim"),
+                (25.0, "member_down", "n1", "victim"),
+            ]
+        )
+        assert detection_time(tr, "victim", 20.0) == pytest.approx(5.0)
+
+    def test_none_when_undetected(self):
+        tr = make_trace([])
+        assert detection_time(tr, "victim", 20.0) is None
+        assert convergence_time(tr, "victim", 20.0) is None
+
+    def test_convergence_requires_all_observers(self):
+        tr = make_trace([(25.0, "member_down", "n1", "victim")])
+        assert convergence_time(tr, "victim", 20.0, expected_observers=["n1", "n2"]) is None
+        assert convergence_time(tr, "victim", 20.0, expected_observers=["n1"]) == pytest.approx(5.0)
+
+
+class TestBandwidthStats:
+    def test_rates(self):
+        m = BandwidthMeter()
+        m.record(0.0, "h1", "rx", "hb", 500)
+        m.record(5.0, "h2", "rx", "hb", 500)
+        stats = bandwidth_stats(m, duration=10.0, num_nodes=2)
+        assert stats.total_rx_bytes == 1000
+        assert stats.aggregate_rate == pytest.approx(100.0)
+        assert stats.per_node_rate == pytest.approx(50.0)
+        assert stats.packet_rate == pytest.approx(0.2)
+
+    def test_zero_duration(self):
+        m = BandwidthMeter()
+        stats = bandwidth_stats(m, duration=0.0, num_nodes=5)
+        assert stats.aggregate_rate == 0.0
+
+
+class TestAccuracy:
+    def test_perfect_accuracy_steady_state(self):
+        hosts = ["a", "b"]
+        tr = make_trace(
+            [
+                (0.5, "member_up", "a", "b"),
+                (0.5, "member_up", "b", "a"),
+            ]
+        )
+        alive = {h: [(0.0, 100.0)] for h in hosts}
+        series = accuracy_timeseries(tr, hosts, alive, horizon=5.0)
+        assert series[0][1] < 1.0  # before discovery
+        assert all(v == 1.0 for t, v in series if t >= 1.0)
+
+    def test_accuracy_dips_between_kill_and_detection(self):
+        hosts = ["a", "b", "c"]
+        events = []
+        for obs in hosts:
+            for tgt in hosts:
+                if obs != tgt:
+                    events.append((0.5, "member_up", obs, tgt))
+        # c dies at t=10; a and b notice at t=15
+        events.append((15.0, "member_down", "a", "c"))
+        events.append((15.0, "member_down", "b", "c"))
+        tr = make_trace(events)
+        alive = {"a": [(0.0, 100.0)], "b": [(0.0, 100.0)], "c": [(0.0, 10.0)]}
+        series = dict(accuracy_timeseries(tr, hosts, alive, horizon=20.0))
+        assert series[5.0] == 1.0
+        assert series[12.0] < 1.0  # stale entry for c
+        assert series[16.0] == 1.0  # purged
+
+    def test_dead_observers_excluded(self):
+        hosts = ["a", "b"]
+        tr = make_trace([(0.5, "member_up", "a", "b"), (0.5, "member_up", "b", "a")])
+        alive = {"a": [(0.0, 100.0)], "b": [(0.0, 5.0)]}
+        series = dict(accuracy_timeseries(tr, hosts, alive, horizon=10.0))
+        # After b dies, only a is scored; a still lists b -> accuracy < 1.
+        assert series[7.0] < 1.0

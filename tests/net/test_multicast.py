@@ -1,0 +1,201 @@
+"""Unit tests for TTL-scoped multicast delivery."""
+
+import pytest
+
+from repro.net import Network, Packet
+from repro.net.builders import build_overlap_topology, build_switched_cluster
+
+
+def make_net(networks=2, hosts=3, **kwargs):
+    topo, hosts_list = build_switched_cluster(networks, hosts)
+    return Network(topo, **kwargs), hosts_list
+
+
+class Collector:
+    """Records (time, packet) deliveries for one host."""
+
+    def __init__(self, net):
+        self.net = net
+        self.received = []
+
+    def __call__(self, packet):
+        self.received.append((self.net.now, packet))
+
+
+class TestScoping:
+    def test_ttl1_stays_in_segment(self):
+        net, hosts = make_net(2, 3)
+        sinks = {}
+        for h in hosts:
+            sinks[h] = Collector(net)
+            net.subscribe("ch", h, sinks[h])
+        net.multicast(hosts[0], "ch", ttl=1, kind="hb", payload=None, size=100)
+        net.run()
+        local = [h for h in hosts[1:3]]
+        remote = hosts[3:]
+        assert all(len(sinks[h].received) == 1 for h in local)
+        assert all(len(sinks[h].received) == 0 for h in remote)
+
+    def test_ttl2_crosses_router(self):
+        net, hosts = make_net(2, 3)
+        sinks = {h: Collector(net) for h in hosts}
+        for h, s in sinks.items():
+            net.subscribe("ch", h, s)
+        net.multicast(hosts[0], "ch", ttl=2, kind="hb", payload=None, size=100)
+        net.run()
+        assert all(len(sinks[h].received) == 1 for h in hosts[1:])
+
+    def test_sender_does_not_receive_own_packet(self):
+        net, hosts = make_net(1, 3)
+        sink = Collector(net)
+        net.subscribe("ch", hosts[0], sink)
+        net.multicast(hosts[0], "ch", ttl=1, kind="hb", payload=None, size=10)
+        net.run()
+        assert sink.received == []
+
+    def test_only_subscribers_receive(self):
+        net, hosts = make_net(1, 3)
+        sink = Collector(net)
+        net.subscribe("ch", hosts[1], sink)
+        # hosts[2] not subscribed
+        net.multicast(hosts[0], "ch", ttl=1, kind="hb", payload=None, size=10)
+        net.run()
+        assert len(sink.received) == 1
+
+    def test_channels_are_independent(self):
+        net, hosts = make_net(1, 3)
+        s1, s2 = Collector(net), Collector(net)
+        net.subscribe("ch1", hosts[1], s1)
+        net.subscribe("ch2", hosts[1], s2)
+        net.multicast(hosts[0], "ch1", ttl=1, kind="hb", payload=None, size=10)
+        net.run()
+        assert len(s1.received) == 1 and len(s2.received) == 0
+
+    def test_overlap_topology_scoping(self):
+        topo, _hosts = build_overlap_topology(hosts_per_group=1)
+        net = Network(topo)
+        a, b, c = "dc0-gA-h0", "dc0-gB-h0", "dc0-gC-h0"
+        sinks = {h: Collector(net) for h in (a, b, c)}
+        for h, s in sinks.items():
+            net.subscribe("ch", h, s)
+        # TTL 3 from A reaches both; TTL 3 from B reaches only A.
+        net.multicast(a, "ch", ttl=3, kind="x", payload=None, size=1)
+        net.run()
+        assert len(sinks[b].received) == 1 and len(sinks[c].received) == 1
+        net.multicast(b, "ch", ttl=3, kind="x", payload=None, size=1)
+        net.run()
+        assert len(sinks[a].received) == 1
+        assert len(sinks[c].received) == 1  # unchanged: B's TTL-3 can't reach C
+
+
+class TestDeliveryMechanics:
+    def test_delivery_delayed_by_latency(self):
+        net, hosts = make_net(2, 2)
+        sink = Collector(net)
+        net.subscribe("ch", hosts[2], sink)
+        net.multicast(hosts[0], "ch", ttl=2, kind="hb", payload="data", size=10)
+        net.run()
+        t, pkt = sink.received[0]
+        assert t == pytest.approx(net.topo.latency(hosts[0], hosts[2]))
+        assert pkt.payload == "data"
+
+    def test_send_returns_scheduled_count(self):
+        net, hosts = make_net(2, 3)
+        for h in hosts:
+            net.subscribe("ch", h, Collector(net))
+        n = net.multicast(hosts[0], "ch", ttl=1, kind="hb", payload=None, size=10)
+        assert n == 2  # local segment peers only
+
+    def test_dead_sender_sends_nothing(self):
+        net, hosts = make_net(1, 3)
+        sink = Collector(net)
+        net.subscribe("ch", hosts[1], sink)
+        net.topo.set_up(hosts[0], False)
+        n = net.multicast(hosts[0], "ch", ttl=1, kind="hb", payload=None, size=10)
+        net.run()
+        assert n == 0 and sink.received == []
+
+    def test_receiver_crashing_in_flight_loses_packet(self):
+        net, hosts = make_net(1, 2)
+        sink = Collector(net)
+        net.subscribe("ch", hosts[1], sink)
+        net.multicast(hosts[0], "ch", ttl=1, kind="hb", payload=None, size=10)
+        net.crash_host(hosts[1])  # crash before delivery event fires
+        net.run()
+        assert sink.received == []
+
+    def test_unsubscribe_stops_delivery(self):
+        net, hosts = make_net(1, 2)
+        sink = Collector(net)
+        net.subscribe("ch", hosts[1], sink)
+        net.unsubscribe("ch", hosts[1])
+        net.multicast(hosts[0], "ch", ttl=1, kind="hb", payload=None, size=10)
+        net.run()
+        assert sink.received == []
+
+    def test_crash_host_unsubscribes_everywhere(self):
+        net, hosts = make_net(1, 2)
+        assert net.multicast_fabric.subscribers("ch") == []
+        net.subscribe("ch", hosts[1], Collector(net))
+        net.crash_host(hosts[1])
+        assert net.multicast_fabric.subscribers("ch") == []
+
+    def test_packet_requires_exactly_one_destination(self):
+        with pytest.raises(ValueError):
+            Packet(src="a", kind="x", payload=None, size=1)
+        with pytest.raises(ValueError):
+            Packet(src="a", kind="x", payload=None, size=1, dst="b", channel="c")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src="a", kind="x", payload=None, size=-1, dst="b")
+
+
+class TestLoss:
+    def test_lossless_by_default(self):
+        net, hosts = make_net(1, 2)
+        sink = Collector(net)
+        net.subscribe("ch", hosts[1], sink)
+        for _ in range(100):
+            net.multicast(hosts[0], "ch", ttl=1, kind="hb", payload=None, size=1)
+        net.run()
+        assert len(sink.received) == 100
+
+    def test_loss_rate_drops_packets(self):
+        net, hosts = make_net(1, 2, loss_rate=0.5, seed=1)
+        sink = Collector(net)
+        net.subscribe("ch", hosts[1], sink)
+        for _ in range(400):
+            net.multicast(hosts[0], "ch", ttl=1, kind="hb", payload=None, size=1)
+        net.run()
+        assert 120 < len(sink.received) < 280  # ~200 expected
+
+    def test_loss_is_deterministic_per_seed(self):
+        def run(seed):
+            net, hosts = make_net(1, 2, loss_rate=0.3, seed=seed)
+            sink = Collector(net)
+            net.subscribe("ch", hosts[1], sink)
+            for _ in range(50):
+                net.multicast(hosts[0], "ch", ttl=1, kind="hb", payload=None, size=1)
+            net.run()
+            return len(sink.received)
+
+        assert run(7) == run(7)
+
+    def test_invalid_loss_rate_rejected(self):
+        topo, _ = build_switched_cluster(1, 2)
+        with pytest.raises(ValueError):
+            Network(topo, loss_rate=1.0)
+
+
+class TestMetering:
+    def test_rx_and_tx_recorded(self):
+        net, hosts = make_net(1, 3)
+        for h in hosts:
+            net.subscribe("ch", h, Collector(net))
+        net.multicast(hosts[0], "ch", ttl=1, kind="hb", payload=None, size=228)
+        net.run()
+        assert net.meter.bytes(hosts[0], "tx") == 228
+        assert net.meter.bytes(hosts[1], "rx") == 228
+        assert net.meter.bytes(direction="rx") == 456
+        assert net.meter.packets(direction="rx") == 2

@@ -1,0 +1,178 @@
+"""Unit tests for unicast transport, virtual addresses, bandwidth meter."""
+
+import pytest
+
+from repro.net import BandwidthMeter, Network
+from repro.net.builders import build_switched_cluster, build_two_datacenters
+
+
+def make_net(networks=1, hosts=3, **kwargs):
+    topo, hosts_list = build_switched_cluster(networks, hosts)
+    return Network(topo, **kwargs), hosts_list
+
+
+class Collector:
+    def __init__(self, net):
+        self.net = net
+        self.received = []
+
+    def __call__(self, packet):
+        self.received.append((self.net.now, packet))
+
+
+class TestUnicast:
+    def test_basic_delivery(self):
+        net, hosts = make_net()
+        sink = Collector(net)
+        net.bind(hosts[1], "membership", sink)
+        ok = net.unicast(hosts[0], hosts[1], kind="poll", payload={"q": 1}, size=64)
+        net.run()
+        assert ok
+        assert len(sink.received) == 1
+        assert sink.received[0][1].payload == {"q": 1}
+
+    def test_delivery_latency(self):
+        net, hosts = make_net()
+        sink = Collector(net)
+        net.bind(hosts[1], "membership", sink)
+        net.unicast(hosts[0], hosts[1], kind="poll", payload=None, size=1)
+        net.run()
+        assert sink.received[0][0] == pytest.approx(
+            net.topo.unicast_latency(hosts[0], hosts[1])
+        )
+
+    def test_ports_are_independent(self):
+        net, hosts = make_net()
+        a, b = Collector(net), Collector(net)
+        net.bind(hosts[1], "membership", a)
+        net.bind(hosts[1], "service", b)
+        net.unicast(hosts[0], hosts[1], kind="x", payload=None, size=1, port="service")
+        net.run()
+        assert len(a.received) == 0 and len(b.received) == 1
+
+    def test_unbound_port_drops(self):
+        net, hosts = make_net()
+        ok = net.unicast(hosts[0], hosts[1], kind="x", payload=None, size=1)
+        net.run()
+        assert ok  # scheduled, but silently dropped at the receiver
+
+    def test_dead_sender_does_not_send(self):
+        net, hosts = make_net()
+        net.bind(hosts[1], "membership", Collector(net))
+        net.topo.set_up(hosts[0], False)
+        assert not net.unicast(hosts[0], hosts[1], kind="x", payload=None, size=1)
+
+    def test_dead_receiver_drops(self):
+        net, hosts = make_net()
+        sink = Collector(net)
+        net.bind(hosts[1], "membership", sink)
+        net.unicast(hosts[0], hosts[1], kind="x", payload=None, size=1)
+        net.crash_host(hosts[1])
+        net.run()
+        assert sink.received == []
+
+    def test_unknown_destination_returns_false(self):
+        net, hosts = make_net()
+        assert not net.unicast(hosts[0], "no-such-host", kind="x", payload=None, size=1)
+
+    def test_cross_dc_unicast_pays_wan_latency(self):
+        topo, dca, dcb = build_two_datacenters(1, 2)
+        net = Network(topo)
+        sink = Collector(net)
+        net.bind(dcb[0], "membership", sink)
+        net.unicast(dca[0], dcb[0], kind="x", payload=None, size=1)
+        net.run()
+        assert sink.received[0][0] >= 0.045
+
+
+class TestVirtualAddresses:
+    def test_send_to_virtual_address(self):
+        net, hosts = make_net()
+        sink = Collector(net)
+        net.bind(hosts[1], "membership", sink)
+        net.transport.bind_address("vip-1", hosts[1])
+        net.unicast(hosts[0], "vip-1", kind="x", payload=None, size=1)
+        net.run()
+        assert len(sink.received) == 1
+
+    def test_failover_rebinds(self):
+        net, hosts = make_net()
+        s1, s2 = Collector(net), Collector(net)
+        net.bind(hosts[1], "membership", s1)
+        net.bind(hosts[2], "membership", s2)
+        net.transport.bind_address("vip", hosts[1])
+        net.unicast(hosts[0], "vip", kind="x", payload=None, size=1)
+        net.run()
+        net.transport.bind_address("vip", hosts[2])  # IP takeover
+        net.unicast(hosts[0], "vip", kind="x", payload=None, size=1)
+        net.run()
+        assert len(s1.received) == 1 and len(s2.received) == 1
+
+    def test_resolve(self):
+        net, hosts = make_net()
+        net.transport.bind_address("vip", hosts[0])
+        assert net.transport.resolve("vip") == hosts[0]
+        assert net.transport.resolve(hosts[1]) == hosts[1]
+        assert net.transport.resolve("nothing") is None
+
+    def test_release_address(self):
+        net, hosts = make_net()
+        net.transport.bind_address("vip", hosts[0])
+        net.transport.release_address("vip")
+        assert not net.unicast(hosts[1], "vip", kind="x", payload=None, size=1)
+
+
+class TestBandwidthMeter:
+    def test_totals(self):
+        m = BandwidthMeter()
+        m.record(1.0, "h1", "rx", "hb", 100)
+        m.record(2.0, "h1", "rx", "hb", 100)
+        m.record(2.0, "h2", "rx", "update", 50)
+        assert m.bytes("h1", "rx") == 200
+        assert m.bytes(direction="rx") == 250
+        assert m.packets(direction="rx") == 3
+        assert m.bytes_by_kind("hb") == 200
+
+    def test_rates_with_explicit_duration(self):
+        m = BandwidthMeter()
+        m.record(0.0, "h1", "rx", "hb", 500)
+        m.record(10.0, "h1", "rx", "hb", 500)
+        assert m.aggregate_rate(duration=10.0) == pytest.approx(100.0)
+        assert m.packet_rate("h1", duration=10.0) == pytest.approx(0.2)
+
+    def test_rate_defaults_to_observed_span(self):
+        m = BandwidthMeter()
+        m.record(0.0, "h1", "rx", "hb", 100)
+        m.record(4.0, "h1", "rx", "hb", 100)
+        assert m.aggregate_rate() == pytest.approx(50.0)
+
+    def test_zero_duration_rate_is_zero(self):
+        m = BandwidthMeter()
+        m.record(1.0, "h1", "rx", "hb", 100)
+        assert m.aggregate_rate() == 0.0
+
+    def test_per_host_rates(self):
+        m = BandwidthMeter()
+        m.record(0.0, "h1", "rx", "hb", 100)
+        m.record(10.0, "h2", "rx", "hb", 300)
+        rates = m.per_host_rates(duration=10.0)
+        assert rates == {"h1": 10.0, "h2": 30.0}
+
+    def test_bucketed_requires_series(self):
+        m = BandwidthMeter(keep_series=False)
+        with pytest.raises(RuntimeError):
+            m.bucketed()
+
+    def test_bucketed_series(self):
+        m = BandwidthMeter(keep_series=True)
+        m.record(0.2, "h", "rx", "hb", 10)
+        m.record(0.7, "h", "rx", "hb", 10)
+        m.record(1.5, "h", "rx", "hb", 30)
+        assert m.bucketed(bucket=1.0) == [(0.0, 20), (1.0, 30)]
+
+    def test_reset(self):
+        m = BandwidthMeter()
+        m.record(0.0, "h", "rx", "hb", 10)
+        m.reset()
+        assert m.bytes(direction="rx") == 0
+        assert m.duration == 0.0

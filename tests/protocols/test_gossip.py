@@ -1,0 +1,185 @@
+"""Unit/integration tests for the gossip baseline."""
+
+import math
+
+import pytest
+
+from repro.cluster import ServiceSpec
+from repro.net import Network
+from repro.net.builders import build_switched_cluster
+from repro.protocols import GossipNode, ProtocolConfig, deploy
+from repro.protocols.gossip import gossip_fail_time
+
+
+def make_gossip_cluster(n=8, seed=1, loss=0.0, config=None):
+    topo, hosts = build_switched_cluster(1, n)
+    net = Network(topo, seed=seed, loss_rate=loss)
+    nodes = deploy(GossipNode, net, hosts, config=config, seeds=hosts)
+    return net, hosts, nodes
+
+
+class TestFailTime:
+    def test_grows_logarithmically(self):
+        t20 = gossip_fail_time(20)
+        t100 = gossip_fail_time(100)
+        assert t100 > t20
+        # log2(100)-log2(20) = log2(5): the gap must match that, not 80x.
+        assert (t100 - t20) == pytest.approx(math.log2(5), rel=1e-6)
+
+    def test_tighter_mistake_prob_means_longer(self):
+        assert gossip_fail_time(50, p_mistake=1e-6) > gossip_fail_time(50, p_mistake=1e-3)
+
+    def test_scales_with_period(self):
+        assert gossip_fail_time(50, period=2.0) == pytest.approx(2 * gossip_fail_time(50, period=1.0))
+
+    def test_tiny_group_floor(self):
+        assert gossip_fail_time(1) == 2.0
+
+
+class TestFormation:
+    def test_full_view_convergence(self):
+        net, hosts, nodes = make_gossip_cluster(8)
+        net.run(until=15.0)
+        for node in nodes.values():
+            assert node.view() == sorted(hosts)
+
+    def test_records_propagate_through_gossip(self):
+        topo, hosts = build_switched_cluster(1, 6)
+        net = Network(topo, seed=2)
+        specs = {hosts[0]: [ServiceSpec.make("index", "1-3")]}
+        nodes = deploy(GossipNode, net, hosts, services=specs, seeds=hosts)
+        net.run(until=15.0)
+        found = nodes[hosts[5]].directory.lookup_service("index", "2")
+        assert [r.node_id for r in found] == [hosts[0]]
+
+    def test_seed_list_excludes_self(self):
+        topo, hosts = build_switched_cluster(1, 3)
+        net = Network(topo, seed=1)
+        node = GossipNode(net, hosts[0], seeds=hosts)
+        assert hosts[0] not in node.seeds
+
+    def test_member_up_events(self):
+        net, hosts, nodes = make_gossip_cluster(5)
+        net.run(until=15.0)
+        ups = net.trace.records(kind="member_up")
+        assert len(ups) == 5 * 4
+
+
+class TestDetection:
+    def test_failure_detected_by_all(self):
+        net, hosts, nodes = make_gossip_cluster(8)
+        net.run(until=15.0)
+        victim = hosts[3]
+        nodes[victim].stop()
+        net.crash_host(victim)
+        kill = net.now
+        net.run(until=kill + 60.0)
+        downs = [r for r in net.trace.records(kind="member_down") if r.data["target"] == victim]
+        assert {r.node for r in downs} == set(hosts) - {victim}
+        detect = min(r.time for r in downs) - kill
+        # detection should be around t_fail for n=8
+        t_fail = gossip_fail_time(8)
+        assert t_fail * 0.8 <= detect <= t_fail + 5.0
+
+    def test_detection_slower_than_alltoall_constant(self):
+        net, hosts, nodes = make_gossip_cluster(20)
+        net.run(until=20.0)
+        victim = hosts[0]
+        nodes[victim].stop()
+        net.crash_host(victim)
+        kill = net.now
+        net.run(until=kill + 60.0)
+        downs = [r for r in net.trace.records(kind="member_down") if r.data["target"] == victim]
+        detect = min(r.time for r in downs) - kill
+        assert detect > ProtocolConfig().fail_timeout  # worse than ~5 s
+
+    def test_dead_node_not_resurrected_by_stale_gossip(self):
+        net, hosts, nodes = make_gossip_cluster(8)
+        net.run(until=15.0)
+        victim = hosts[3]
+        nodes[victim].stop()
+        net.crash_host(victim)
+        net.run(until=net.now + 60.0)
+        # After everyone declared it dead, keep gossiping a long time: the
+        # dead entry must not flap back via stale views.
+        for node in nodes.values():
+            if node.node_id != victim:
+                assert victim not in node.view()
+        ups_after = [
+            r
+            for r in net.trace.records(kind="member_up", since=20.0)
+            if r.data["target"] == victim
+        ]
+        assert ups_after == []
+
+    def test_restart_with_higher_counter_rejoins(self):
+        net, hosts, nodes = make_gossip_cluster(6)
+        net.run(until=15.0)
+        victim = hosts[2]
+        nodes[victim].stop()
+        net.crash_host(victim)
+        net.run(until=net.now + 40.0)
+        net.recover_host(victim)
+        nodes[victim].start()
+        net.run(until=net.now + 40.0)
+        alive = [n for h, n in nodes.items() if h != victim]
+        assert all(victim in n.view() for n in alive)
+
+    def test_no_false_positives_when_quiet(self):
+        net, hosts, nodes = make_gossip_cluster(10)
+        net.run(until=60.0)
+        assert net.trace.records(kind="member_down") == []
+
+
+class TestPartition:
+    def test_partition_splits_views_and_heals(self):
+        topo, hosts = build_switched_cluster(2, 5)
+        net = Network(topo, seed=4)
+        nodes = deploy(GossipNode, net, hosts, seeds=hosts)
+        net.run(until=20.0)
+        net.fail_device("dc0-sw1")
+        net.run(until=60.0)  # gossip needs its longer timeouts
+        side_a = hosts[:5]
+        side_b = hosts[5:]
+        for h in side_a:
+            assert nodes[h].view() == sorted(side_a), h
+        for h in side_b:
+            # Behind their own dead L2 switch, n1 members are fully alone.
+            assert nodes[h].view() == [h], h
+        net.recover_device("dc0-sw1")
+        net.run(until=net.now + 80.0)
+        for h, node in nodes.items():
+            assert node.view() == sorted(hosts), h
+
+
+class TestTraffic:
+    def test_message_size_grows_with_view(self):
+        net, hosts, nodes = make_gossip_cluster(10)
+        net.run(until=5.0)
+        net.meter.reset()
+        net.run(until=15.0)
+        per_packet = net.meter.bytes(direction="rx") / max(1, net.meter.packets(direction="rx"))
+        cfg = ProtocolConfig()
+        assert per_packet == pytest.approx(cfg.message_size(10), rel=0.05)
+
+    def test_aggregate_bandwidth_quadratic(self):
+        def agg(n):
+            net, hosts, nodes = make_gossip_cluster(n)
+            net.run(until=20.0)
+            net.meter.reset()
+            net.run(until=30.0)
+            return net.meter.bytes(direction="rx")
+
+        b5, b10 = agg(5), agg(10)
+        # bytes/period ~ n * (h + s*n): ratio for 10 vs 5 ≈ 3.6
+        assert 2.5 < b10 / b5 < 5.0
+
+    def test_fanout_multiplies_messages(self):
+        cfg2 = ProtocolConfig(gossip_fanout=2)
+        net1, _, _ = make_gossip_cluster(8)
+        net1.run(until=20.0)
+        p1 = net1.meter.packets(direction="rx")
+        net2, _, _ = make_gossip_cluster(8, config=cfg2)
+        net2.run(until=20.0)
+        p2 = net2.meter.packets(direction="rx")
+        assert 1.6 < p2 / p1 < 2.4

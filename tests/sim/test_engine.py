@@ -1,0 +1,239 @@
+"""Unit tests for the discrete-event engine."""
+
+import math
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulator(start_time=5.0)
+    assert sim.now == 5.0
+
+
+def test_call_at_executes_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.call_at(2.0, order.append, "b")
+    sim.call_at(1.0, order.append, "a")
+    sim.call_at(3.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_fifo_order():
+    sim = Simulator()
+    order = []
+    for label in "abcde":
+        sim.call_at(1.0, order.append, label)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_priority_breaks_ties_before_seq():
+    sim = Simulator()
+    order = []
+    sim.call_at(1.0, order.append, "late", priority=1)
+    sim.call_at(1.0, order.append, "early", priority=-1)
+    sim.run()
+    assert order == ["early", "late"]
+
+
+def test_call_after_relative_delay():
+    sim = Simulator()
+    seen = []
+    sim.call_after(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    times = []
+    sim.call_at(4.25, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [4.25]
+    assert sim.now == 4.25
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.call_at(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_schedule_nan_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_at(math.nan, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_after(-0.1, lambda: None)
+
+
+def test_schedule_at_now_allowed():
+    sim = Simulator()
+    seen = []
+    sim.call_at(0.0, seen.append, 1)
+    sim.run()
+    assert seen == [1]
+
+
+def test_run_until_horizon_leaves_future_events():
+    sim = Simulator()
+    seen = []
+    sim.call_at(1.0, seen.append, "in")
+    sim.call_at(5.0, seen.append, "out")
+    sim.run(until=2.0)
+    assert seen == ["in"]
+    assert sim.now == 2.0
+    sim.run()
+    assert seen == ["in", "out"]
+
+
+def test_run_until_inclusive():
+    sim = Simulator()
+    seen = []
+    sim.call_at(2.0, seen.append, "edge")
+    sim.run(until=2.0)
+    assert seen == ["edge"]
+
+
+def test_run_advances_clock_to_until_when_queue_drains():
+    sim = Simulator()
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    seen = []
+    ev = sim.call_at(1.0, seen.append, "x")
+    ev.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    ev = sim.call_at(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    sim.run()
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.call_after(1.0, seen.append, "second")
+        seen.append("first")
+
+    sim.call_at(1.0, first)
+    sim.run()
+    assert seen == ["first", "second"]
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    seen = []
+    sim.call_at(1.0, seen.append, "a")
+    sim.call_at(1.0, sim.stop)
+    sim.call_at(2.0, seen.append, "b")
+    sim.run()
+    assert seen == ["a"]
+    sim.run()
+    assert seen == ["a", "b"]
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.call_at(float(i), seen.append, i)
+    sim.run(max_events=3)
+    assert seen == [0, 1, 2]
+
+
+def test_step_executes_single_event():
+    sim = Simulator()
+    seen = []
+    sim.call_at(1.0, seen.append, "a")
+    sim.call_at(2.0, seen.append, "b")
+    assert sim.step() is True
+    assert seen == ["a"]
+    assert sim.step() is True
+    assert sim.step() is False
+    assert seen == ["a", "b"]
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    ev = sim.call_at(1.0, lambda: None)
+    sim.call_at(2.0, lambda: None)
+    ev.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_peek_empty_queue():
+    sim = Simulator()
+    assert sim.peek() is None
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.call_at(float(i), lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.call_at(1.0, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_exception_in_callback_propagates():
+    sim = Simulator()
+
+    def boom():
+        raise ValueError("boom")
+
+    sim.call_at(1.0, boom)
+    with pytest.raises(ValueError):
+        sim.run()
+    # The engine must be runnable again after an exception.
+    seen = []
+    sim.call_at(2.0, seen.append, "ok")
+    sim.run()
+    assert seen == ["ok"]
+
+
+def test_callback_args_passed_through():
+    sim = Simulator()
+    seen = []
+    sim.call_at(1.0, lambda a, b: seen.append((a, b)), 1, "x")
+    sim.run()
+    assert seen == [(1, "x")]
