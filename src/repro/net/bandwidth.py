@@ -5,14 +5,32 @@ heartbeat packets", then sums over nodes for the aggregated curves of
 Fig. 11, and counts received multicast packets per second for Fig. 2.  The
 meter mirrors that: every delivery (and send) is recorded with its byte
 size, and queries aggregate by host, direction, packet kind, or time bucket.
+
+Counter layout: ``record()`` sits on the per-packet hot path of both
+fabrics, so counters are nested small objects (host -> direction ->
+:class:`_Counters`) instead of flat tuple-keyed dicts — one recording no
+longer allocates ``(host, direction)`` / ``(host, direction, kind)`` key
+tuples, and the batched multicast delivery path accounts a whole delay
+bucket through :meth:`BandwidthMeter.record_many` in one call.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = ["BandwidthMeter"]
+
+
+class _Counters:
+    """Byte/packet totals for one (host, direction) cell."""
+
+    __slots__ = ("bytes", "packets", "kind_bytes")
+
+    def __init__(self) -> None:
+        self.bytes = 0
+        self.packets = 0
+        self.kind_bytes: Dict[str, int] = {}
 
 
 class BandwidthMeter:
@@ -25,25 +43,57 @@ class BandwidthMeter:
 
     def __init__(self, keep_series: bool = False) -> None:
         self.keep_series = keep_series
-        self._bytes: Dict[Tuple[str, str], int] = defaultdict(int)
-        self._packets: Dict[Tuple[str, str], int] = defaultdict(int)
-        self._kind_bytes: Dict[Tuple[str, str, str], int] = defaultdict(int)
+        # host -> direction -> counters
+        self._hosts: Dict[str, Dict[str, _Counters]] = {}
         self._series: List[Tuple[float, str, str, str, int]] = []
         self._t0: Optional[float] = None
         self._t1: Optional[float] = None
 
-    def record(self, time: float, host: str, direction: str, kind: str, size: int) -> None:
-        """Log one packet send/receive."""
-        key = (host, direction)
-        self._bytes[key] += size
-        self._packets[key] += 1
-        self._kind_bytes[(host, direction, kind)] += size
+    def _cell(self, host: str, direction: str) -> _Counters:
+        by_dir = self._hosts.get(host)
+        if by_dir is None:
+            by_dir = self._hosts[host] = {}
+        cell = by_dir.get(direction)
+        if cell is None:
+            cell = by_dir[direction] = _Counters()
+        return cell
+
+    def _touch(self, time: float) -> None:
         if self._t0 is None or time < self._t0:
             self._t0 = time
         if self._t1 is None or time > self._t1:
             self._t1 = time
+
+    def record(self, time: float, host: str, direction: str, kind: str, size: int) -> None:
+        """Log one packet send/receive."""
+        cell = self._cell(host, direction)
+        cell.bytes += size
+        cell.packets += 1
+        kb = cell.kind_bytes
+        kb[kind] = kb.get(kind, 0) + size
+        self._touch(time)
         if self.keep_series:
             self._series.append((time, host, direction, kind, size))
+
+    def record_many(
+        self, time: float, hosts: Iterable[str], direction: str, kind: str, size: int
+    ) -> None:
+        """Log one same-sized packet for every host in ``hosts`` at ``time``.
+
+        Batch twin of :meth:`record` for the multicast fast path, where a
+        whole delay bucket of receivers is accounted in one call: the
+        min/max-time bookkeeping and series branch run once per batch.
+        """
+        for host in hosts:
+            cell = self._cell(host, direction)
+            cell.bytes += size
+            cell.packets += 1
+            kb = cell.kind_bytes
+            kb[kind] = kb.get(kind, 0) + size
+        self._touch(time)
+        if self.keep_series:
+            for host in hosts:
+                self._series.append((time, host, direction, kind, size))
 
     # ------------------------------------------------------------------
     # Totals
@@ -51,17 +101,32 @@ class BandwidthMeter:
     def bytes(self, host: Optional[str] = None, direction: str = "rx") -> int:
         """Total bytes for a host (or all hosts) in one direction."""
         if host is not None:
-            return self._bytes.get((host, direction), 0)
-        return sum(v for (_h, d), v in self._bytes.items() if d == direction)
+            cell = self._hosts.get(host, {}).get(direction)
+            return cell.bytes if cell is not None else 0
+        return sum(
+            cell.bytes
+            for by_dir in self._hosts.values()
+            for d, cell in by_dir.items()
+            if d == direction
+        )
 
     def packets(self, host: Optional[str] = None, direction: str = "rx") -> int:
         if host is not None:
-            return self._packets.get((host, direction), 0)
-        return sum(v for (_h, d), v in self._packets.items() if d == direction)
+            cell = self._hosts.get(host, {}).get(direction)
+            return cell.packets if cell is not None else 0
+        return sum(
+            cell.packets
+            for by_dir in self._hosts.values()
+            for d, cell in by_dir.items()
+            if d == direction
+        )
 
     def bytes_by_kind(self, kind: str, direction: str = "rx") -> int:
         return sum(
-            v for (_h, d, k), v in self._kind_bytes.items() if d == direction and k == kind
+            cell.kind_bytes.get(kind, 0)
+            for by_dir in self._hosts.values()
+            for d, cell in by_dir.items()
+            if d == direction
         )
 
     @property
@@ -97,9 +162,10 @@ class BandwidthMeter:
         if span <= 0:
             return {}
         out: Dict[str, float] = {}
-        for (host, d), v in self._bytes.items():
-            if d == direction:
-                out[host] = v / span
+        for host, by_dir in self._hosts.items():
+            cell = by_dir.get(direction)
+            if cell is not None:
+                out[host] = cell.bytes / span
         return out
 
     # ------------------------------------------------------------------
@@ -118,8 +184,6 @@ class BandwidthMeter:
         return [(idx * bucket, total) for idx, total in sorted(acc.items())]
 
     def reset(self) -> None:
-        self._bytes.clear()
-        self._packets.clear()
-        self._kind_bytes.clear()
+        self._hosts.clear()
         self._series.clear()
         self._t0 = self._t1 = None

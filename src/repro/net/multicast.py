@@ -11,13 +11,31 @@ is delivered to every **subscribed, live** host *s ≠ h* whose
 independently suffers the loss process — exactly the paper's UDP multicast
 failure model ("it is possible these packets can be lost due to network
 congestion or overloading senders or receivers").
+
+Fast path
+---------
+``send()`` resolves its recipients through a **delivery plan** cached per
+``(channel, src, ttl)``: the ordered tuple of ``(host, handler, delay)``
+triples a send from that key fans out to.  Plans are validated against
+``Topology.version`` plus a per-channel subscription version, so topology
+churn and subscribe/unsubscribe invalidate exactly the plans they affect
+instead of forcing a rebuild on every send.  Recipients are then grouped
+by identical delay and each group is scheduled as **one** kernel event
+(:meth:`Simulator.call_at_batch`) that loops over the receivers, cutting
+heap traffic from O(receivers) to O(distinct delays) per send.
+
+Determinism contract: recipients appear in the plan in subscription
+(dict insertion) order — the same order the legacy path iterates — and
+loss draws are taken in that order at send time, so seeded runs produce
+byte-identical traces on either path (``use_fast_path`` toggles; see
+docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 import random
 from collections import defaultdict
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.bandwidth import BandwidthMeter
 from repro.net.packet import Packet
@@ -27,6 +45,10 @@ from repro.sim.engine import Simulator
 __all__ = ["MulticastFabric"]
 
 Handler = Callable[[Packet], None]
+
+#: One cached fan-out: (subscription version it was built against,
+#: ordered (host, handler, delay) recipients).
+_Plan = Tuple[int, Tuple[Tuple[str, Handler, float], ...]]
 
 
 class MulticastFabric:
@@ -43,6 +65,14 @@ class MulticastFabric:
         ``loss_rate > 0``, which keeps fully deterministic tests simple).
     proc_delay:
         Fixed receive-path processing delay added to topology latency.
+
+    Attributes
+    ----------
+    use_fast_path:
+        When True (default) sends go through the cached-plan/batched
+        scheduler; False falls back to the legacy per-receiver path.
+        Benchmarks flip this to measure both engines in one process; the
+        two paths are trace-identical by contract.
     """
 
     def __init__(
@@ -62,8 +92,15 @@ class MulticastFabric:
         self.loss_rate = loss_rate
         self.loss_rng = loss_rng
         self.proc_delay = proc_delay
+        self.use_fast_path = True
         # channel -> host -> handler
         self._subs: Dict[str, Dict[str, Handler]] = defaultdict(dict)
+        # channel -> version, bumped on any subscription change to that channel
+        self._sub_version: Dict[str, int] = defaultdict(int)
+        # (channel, src, ttl) -> plan; valid only while _plans_topo_version
+        # matches the live topology and the plan's own sub version matches.
+        self._plans: Dict[Tuple[str, str, int], _Plan] = {}
+        self._plans_topo_version = topo.version
 
     # ------------------------------------------------------------------
     # Membership of channels
@@ -71,20 +108,61 @@ class MulticastFabric:
     def subscribe(self, channel: str, host: str, handler: Handler) -> None:
         """Join ``host`` to ``channel``; replaces any previous handler."""
         self._subs[channel][host] = handler
+        self._sub_version[channel] += 1
 
     def unsubscribe(self, channel: str, host: str) -> None:
-        self._subs.get(channel, {}).pop(host, None)
+        subs = self._subs.get(channel)
+        if subs is not None and subs.pop(host, None) is not None:
+            self._sub_version[channel] += 1
 
     def unsubscribe_all(self, host: str) -> None:
         """Used when a host crashes: it stops hearing everything."""
-        for subs in self._subs.values():
-            subs.pop(host, None)
+        for channel, subs in self._subs.items():
+            if subs.pop(host, None) is not None:
+                self._sub_version[channel] += 1
 
     def subscribers(self, channel: str) -> list[str]:
         return sorted(self._subs.get(channel, {}))
 
     def is_subscribed(self, channel: str, host: str) -> bool:
         return host in self._subs.get(channel, {})
+
+    # ------------------------------------------------------------------
+    # Delivery plans
+    # ------------------------------------------------------------------
+    def _plan(self, channel: str, src: str, ttl: int) -> Tuple[Tuple[str, Handler, float], ...]:
+        """Recipients of a (channel, src, ttl) send, in subscription order.
+
+        Cached until the topology mutates or the channel's subscriptions
+        change; both are validated on read so invalidation is O(1) at the
+        mutation site.
+        """
+        topo = self.topo
+        if topo.version != self._plans_topo_version:
+            # Any device/link/up-down change may move TTL distances for
+            # every cached key, so the whole plan cache is stale at once.
+            self._plans.clear()
+            self._plans_topo_version = topo.version
+        key = (channel, src, ttl)
+        sub_version = self._sub_version[channel]
+        plan = self._plans.get(key)
+        if plan is not None and plan[0] == sub_version:
+            return plan[1]
+        recipients: List[Tuple[str, Handler, float]] = []
+        subs = self._subs.get(channel)
+        if subs:
+            distance = topo.ttl_distance
+            latency = topo.latency
+            proc_delay = self.proc_delay
+            for host, handler in subs.items():
+                if host == src:
+                    continue
+                if distance(src, host) > ttl:
+                    continue
+                recipients.append((host, handler, latency(src, host) + proc_delay))
+        built = tuple(recipients)
+        self._plans[key] = (sub_version, built)
+        return built
 
     # ------------------------------------------------------------------
     # Sending
@@ -97,6 +175,43 @@ class MulticastFabric:
         """
         if packet.channel is None:
             raise ValueError("multicast send requires packet.channel")
+        if not self.use_fast_path:
+            return self._send_slow(packet)
+        if not self.topo.is_up(packet.src):
+            return 0
+        self.meter.record(self.sim.now, packet.src, "tx", packet.kind, packet.size)
+        recipients = self._plan(packet.channel, packet.src, packet.ttl)
+        if not recipients:
+            return 0
+        # Group survivors by identical delay; loss is drawn in plan
+        # (= sender-iteration) order so the RNG stream matches the legacy
+        # path draw for draw.
+        buckets: Dict[float, List[Tuple[str, Handler]]] = {}
+        if self.loss_rng is not None and self.loss_rate > 0.0:
+            rand = self.loss_rng.random
+            rate = self.loss_rate
+            for host, handler, delay in recipients:
+                if rand() < rate:
+                    continue
+                bucket = buckets.get(delay)
+                if bucket is None:
+                    buckets[delay] = [(host, handler)]
+                else:
+                    bucket.append((host, handler))
+        else:
+            for host, handler, delay in recipients:
+                bucket = buckets.get(delay)
+                if bucket is None:
+                    buckets[delay] = [(host, handler)]
+                else:
+                    bucket.append((host, handler))
+        now = self.sim.now
+        for delay, bucket in buckets.items():
+            self.sim.call_at_batch(now + delay, self._deliver_batch, bucket, packet)
+        return len(recipients)
+
+    def _send_slow(self, packet: Packet) -> int:
+        """Legacy per-receiver path (baseline mode for benchmarks)."""
         if not self.topo.is_up(packet.src):
             return 0
         self.meter.record(self.sim.now, packet.src, "tx", packet.kind, packet.size)
@@ -117,6 +232,29 @@ class MulticastFabric:
             delay = self.topo.latency(packet.src, host) + self.proc_delay
             self.sim.call_after(delay, self._deliver, packet, host, handler)
         return delivered
+
+    def _deliver_batch(self, recipients: List[Tuple[str, Handler]], packet: Packet) -> None:
+        """Deliver one delay bucket: validate, account once, then dispatch.
+
+        Hosts may have crashed or left the channel while in flight; each is
+        re-validated at delivery time, exactly like the per-receiver path.
+        Receive-side metering for the whole bucket lands in a single
+        :meth:`BandwidthMeter.record_many` call.
+        """
+        subs = self._subs.get(packet.channel, {})
+        is_up = self.topo.is_up
+        live = [
+            (host, handler)
+            for host, handler in recipients
+            if is_up(host) and subs.get(host) is handler
+        ]
+        if not live:
+            return
+        self.meter.record_many(
+            self.sim.now, [host for host, _handler in live], "rx", packet.kind, packet.size
+        )
+        for _host, handler in live:
+            handler(packet)
 
     def _deliver(self, packet: Packet, host: str, handler: Handler) -> None:
         # The host may have crashed or left the channel while in flight.

@@ -65,6 +65,8 @@ class Topology:
         self._wan_edges: set[Tuple[str, str]] = set()
         # source host -> {dest host -> (ttl_distance, latency)}
         self._cache: Dict[str, Dict[str, Tuple[float, float]]] = {}
+        # source host -> {dest host -> latency} (WAN allowed)
+        self._ucache: Dict[str, Dict[str, float]] = {}
         self._version = 0
 
     # ------------------------------------------------------------------
@@ -146,6 +148,10 @@ class Topology:
     def devices(self, kind: Optional[NodeKind] = None) -> List[str]:
         return [n for n, k in self._kind.items() if kind is None or k is kind]
 
+    def has_device(self, name: str) -> bool:
+        """O(1) existence check (``devices()`` builds a fresh list)."""
+        return name in self._kind
+
     def datacenters(self) -> List[str]:
         return sorted({self._dc[n] for n in self._kind})
 
@@ -205,7 +211,7 @@ class Topology:
     # ------------------------------------------------------------------
     def _invalidate(self) -> None:
         self._cache.clear()
-        self._ucache: Dict[str, Dict[str, float]] = {}
+        self._ucache.clear()
         self._version += 1
 
     def _distances(self, src: str) -> Dict[str, Tuple[float, float]]:
@@ -239,11 +245,9 @@ class Topology:
         return result
 
     def _unicast_distances(self, src: str) -> Dict[str, float]:
-        cached = getattr(self, "_ucache", {}).get(src)
+        cached = self._ucache.get(src)
         if cached is not None:
             return cached
-        if not hasattr(self, "_ucache"):
-            self._ucache = {}
         result: Dict[str, float] = {}
         if self._up.get(src, False):
             seen: Dict[str, float] = {}

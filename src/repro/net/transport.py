@@ -50,6 +50,14 @@ class UnicastTransport:
         self.proc_delay = proc_delay
         self._ports: Dict[Tuple[str, str], Handler] = {}
         self._addresses: Dict[str, str] = {}
+        # Route plan cache: (src, dst address) -> (host, total latency) or
+        # None for "currently unroutable".  Validated against the topology
+        # version and an address-binding version so virtual-IP takeover and
+        # device churn invalidate it wholesale (both are rare events).
+        self._routes: Dict[Tuple[str, str], Optional[Tuple[str, float]]] = {}
+        self._routes_topo_version = topo.version
+        self._addr_version = 0
+        self._routes_addr_version = 0
 
     # ------------------------------------------------------------------
     # Binding
@@ -68,15 +76,17 @@ class UnicastTransport:
     def bind_address(self, address: str, host: str) -> None:
         """Point virtual ``address`` at ``host`` (initial claim or failover)."""
         self._addresses[address] = host
+        self._addr_version += 1
 
     def release_address(self, address: str) -> None:
-        self._addresses.pop(address, None)
+        if self._addresses.pop(address, None) is not None:
+            self._addr_version += 1
 
     def resolve(self, address: str) -> Optional[str]:
         """Host currently owning ``address``; host names resolve to themselves."""
         if address in self._addresses:
             return self._addresses[address]
-        if address in self.topo.devices():
+        if self.topo.has_device(address):
             return address
         return None
 
@@ -97,17 +107,38 @@ class UnicastTransport:
         if not self.topo.is_up(packet.src):
             return False
         self.meter.record(self.sim.now, packet.src, "tx", packet.kind, packet.size)
-        host = self.resolve(packet.dst)
-        if host is None:
+        route = self._route(packet.src, packet.dst)
+        if route is None:
             return False
-        latency = self.topo.unicast_latency(packet.src, host)
-        if latency == UNREACHABLE:
-            return False
+        host, delay = route
         if self.loss_rng is not None and self.loss_rate > 0.0:
             if self.loss_rng.random() < self.loss_rate:
                 return False
-        self.sim.call_after(latency + self.proc_delay, self._deliver, packet, host, port)
+        self.sim.call_after(delay, self._deliver, packet, host, port)
         return True
+
+    def _route(self, src: str, dst: str) -> Optional[Tuple[str, float]]:
+        """Resolved (host, send delay) for a (src, dst-address) pair, cached."""
+        if (
+            self.topo.version != self._routes_topo_version
+            or self._addr_version != self._routes_addr_version
+        ):
+            self._routes.clear()
+            self._routes_topo_version = self.topo.version
+            self._routes_addr_version = self._addr_version
+        key = (src, dst)
+        try:
+            return self._routes[key]
+        except KeyError:
+            pass
+        route: Optional[Tuple[str, float]] = None
+        host = self.resolve(dst)
+        if host is not None:
+            latency = self.topo.unicast_latency(src, host)
+            if latency != UNREACHABLE:
+                route = (host, latency + self.proc_delay)
+        self._routes[key] = route
+        return route
 
     def _deliver(self, packet: Packet, host: str, port: str) -> None:
         if not self.topo.is_up(host):

@@ -1,0 +1,43 @@
+"""Determinism guard for the fast-path delivery engine.
+
+The perf engine (cached delivery plans, batched per-delay-bucket events,
+route caches) must be a pure optimization: for the same seed, a run
+produces the **identical** trace event sequence as the legacy per-receiver
+path, and repeated runs are bit-for-bit reproducible.  This is the
+contract documented in docs/PERFORMANCE.md; if an optimization ever
+changes scheduling order, loss-draw order, or delivery validation, this
+test is the tripwire.
+"""
+
+from repro.metrics.experiment import make_scheme_cluster
+
+
+def run_30_node_trace(fast_path: bool, seed: int = 7):
+    """3 networks x 10 hosts, hierarchical scheme, crash + observe."""
+    net, hosts, nodes = make_scheme_cluster(
+        "hierarchical", 3, 10, seed=seed, loss_rate=0.02
+    )
+    net.multicast_fabric.use_fast_path = fast_path
+    net.run(until=20.0)
+    victim = hosts[5]
+    nodes[victim].stop()
+    net.crash_host(victim)
+    net.run(until=50.0)
+    return [(r.time, r.kind, r.node, r.data) for r in net.trace]
+
+
+def test_fast_path_trace_identical_to_legacy_path():
+    fast = run_30_node_trace(fast_path=True)
+    slow = run_30_node_trace(fast_path=False)
+    assert len(fast) > 100  # the run actually did protocol work
+    assert fast == slow
+
+
+def test_same_seed_reproduces_identical_trace():
+    assert run_30_node_trace(fast_path=True) == run_30_node_trace(fast_path=True)
+
+
+def test_different_seeds_diverge():
+    # Sanity check that the guard is sensitive at all: with loss enabled,
+    # different seeds must not produce the same trace.
+    assert run_30_node_trace(True, seed=7) != run_30_node_trace(True, seed=8)

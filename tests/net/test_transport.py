@@ -122,6 +122,58 @@ class TestVirtualAddresses:
         assert not net.unicast(hosts[1], "vip", kind="x", payload=None, size=1)
 
 
+class TestRouteCache:
+    def test_repeat_sends_cache_route(self):
+        net, hosts = make_net()
+        sink = Collector(net)
+        net.bind(hosts[1], "membership", sink)
+        for _ in range(3):
+            net.unicast(hosts[0], hosts[1], kind="x", payload=None, size=1)
+        net.run()
+        assert len(sink.received) == 3
+        assert (hosts[0], hosts[1]) in net.transport._routes
+
+    def test_unroutable_destination_cached_negative(self):
+        net, hosts = make_net()
+        assert not net.unicast(hosts[0], "ghost", kind="x", payload=None, size=1)
+        assert net.transport._routes[(hosts[0], "ghost")] is None
+
+    def test_address_takeover_invalidates_cached_route(self):
+        net, hosts = make_net()
+        s1, s2 = Collector(net), Collector(net)
+        net.bind(hosts[1], "membership", s1)
+        net.bind(hosts[2], "membership", s2)
+        net.transport.bind_address("vip", hosts[1])
+        net.unicast(hosts[0], "vip", kind="x", payload=None, size=1)
+        net.run()
+        net.transport.bind_address("vip", hosts[2])
+        net.unicast(hosts[0], "vip", kind="x", payload=None, size=1)
+        net.run()
+        assert len(s1.received) == 1 and len(s2.received) == 1
+
+    def test_release_address_invalidates_cached_route(self):
+        net, hosts = make_net()
+        net.bind(hosts[1], "membership", Collector(net))
+        net.transport.bind_address("vip", hosts[1])
+        assert net.unicast(hosts[0], "vip", kind="x", payload=None, size=1)
+        net.run()
+        net.transport.release_address("vip")
+        assert not net.unicast(hosts[0], "vip", kind="x", payload=None, size=1)
+
+    def test_topology_change_invalidates_cached_route(self):
+        net, hosts = make_net(networks=2, hosts=2)
+        sink = Collector(net)
+        net.bind(hosts[2], "membership", sink)
+        assert net.unicast(hosts[0], hosts[2], kind="x", payload=None, size=1)
+        net.run()
+        net.fail_device("dc0-sw1")  # partitions hosts[2]'s segment
+        assert not net.unicast(hosts[0], hosts[2], kind="x", payload=None, size=1)
+        net.recover_device("dc0-sw1")
+        assert net.unicast(hosts[0], hosts[2], kind="x", payload=None, size=1)
+        net.run()
+        assert len(sink.received) == 2
+
+
 class TestBandwidthMeter:
     def test_totals(self):
         m = BandwidthMeter()

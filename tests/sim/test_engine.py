@@ -237,3 +237,105 @@ def test_callback_args_passed_through():
     sim.call_at(1.0, lambda a, b: seen.append((a, b)), 1, "x")
     sim.run()
     assert seen == [(1, "x")]
+
+
+def test_sort_key_matches_ordering_fields():
+    sim = Simulator()
+    ev = sim.call_at(2.5, lambda: None, priority=3)
+    assert ev.sort_key == (ev.time, ev.priority, ev.seq)
+
+
+class TestCallAtBatch:
+    def test_single_queue_entry_for_many_receivers(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at_batch(1.0, lambda batch: seen.extend(batch), ["a", "b", "c"])
+        assert sim.pending_events == 1
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_shared_args_passed_after_batch(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at_batch(
+            1.0, lambda batch, tag: seen.append((tuple(batch), tag)), [1, 2], "pkt"
+        )
+        sim.run()
+        assert seen == [((1, 2), "pkt")]
+
+    def test_ordering_against_call_at(self):
+        sim = Simulator()
+        order = []
+        sim.call_at(1.0, order.append, "before")
+        sim.call_at_batch(1.0, lambda batch: order.extend(batch), ["b1", "b2"])
+        sim.call_at(1.0, order.append, "after")
+        sim.run()
+        assert order == ["before", "b1", "b2", "after"]
+
+    def test_priority_respected(self):
+        sim = Simulator()
+        order = []
+        sim.call_at_batch(1.0, lambda batch: order.extend(batch), ["late"], priority=1)
+        sim.call_at(1.0, order.append, "early", priority=0)
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_cancellable_as_a_unit(self):
+        sim = Simulator()
+        seen = []
+        ev = sim.call_at_batch(1.0, lambda batch: seen.extend(batch), ["a", "b"])
+        ev.cancel()
+        sim.run()
+        assert seen == []
+
+
+class TestHorizonWithCancelledHeads:
+    def test_cancelled_head_does_not_block_clock_advance(self):
+        sim = Simulator()
+        ev = sim.call_at(1.0, lambda: None)
+        ev.cancel()
+        assert sim.run(until=5.0) == 5.0
+        assert sim.now == 5.0
+
+    def test_cancelled_head_beyond_horizon_still_advances(self):
+        sim = Simulator()
+        ev = sim.call_at(10.0, lambda: None)
+        ev.cancel()
+        sim.call_at(20.0, lambda: None)
+        assert sim.run(until=5.0) == 5.0
+
+    def test_max_events_with_cancelled_head_keeps_clock_at_last_event(self):
+        # Regression: a cancelled head entry with live work queued behind it
+        # must not let run(until=...) jump the clock past that live work.
+        sim = Simulator()
+        seen = []
+        sim.call_at(1.0, seen.append, "a")
+        dead = sim.call_at(1.2, seen.append, "dead")
+        sim.call_at(1.5, seen.append, "b")
+        dead.cancel()
+        sim.run(until=10.0, max_events=1)
+        assert seen == ["a"]
+        assert sim.now == 1.0  # live event at 1.5 still pending
+        # Scheduling between now and the pending event must remain legal.
+        sim.call_at(1.3, seen.append, "c")
+        sim.run(until=10.0)
+        assert seen == ["a", "c", "b"]
+        assert sim.now == 10.0
+
+    def test_max_events_draining_queue_advances_to_until(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(1.0, seen.append, "only")
+        sim.run(until=4.0, max_events=1)
+        assert seen == ["only"]
+        assert sim.now == 4.0
+
+    def test_max_events_with_only_cancelled_leftovers_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(1.0, seen.append, "a")
+        dead = sim.call_at(2.0, seen.append, "dead")
+        dead.cancel()
+        sim.run(until=4.0, max_events=1)
+        assert seen == ["a"]
+        assert sim.now == 4.0
