@@ -1,0 +1,160 @@
+"""Protocol hot-path benchmark: deadline heaps, interned heartbeats, views.
+
+Companion to ``bench_perf_engine.py`` one layer up the stack: where that
+script measures the *delivery engine* (multicast fan-out plans), this one
+measures the *protocol engine* — what each node does per heartbeat period
+once the hierarchy has formed.  The PR under test replaces per-period
+full-directory purge scans with a lazy-deletion deadline heap, interns
+unchanged heartbeat payloads on both the send and receive side, and caches
+directory views behind a version counter.
+
+The measurement is a steady-state A/B in one process: build the same
+hierarchical cluster twice (same topology, same seed), once with
+``use_fast_path=True`` and once with ``False``, let the hierarchy form
+off-timer, then time a window of quiet steady-state simulated seconds.
+``speedup`` (baseline wall / fast wall) is the acceptance metric; the
+committed ``BENCH_protocol_hotpath.json`` records it so CI can detect
+regressions with ``--check`` (ratio-based, hence machine-independent).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_protocol_hotpath.py          # full
+    PYTHONPATH=src python benchmarks/bench_protocol_hotpath.py --quick  # CI
+    PYTHONPATH=src python benchmarks/bench_protocol_hotpath.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.metrics.experiment import make_scheme_cluster  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_protocol_hotpath.json"
+
+#: Fraction of the reference speedup the current run must retain in
+#: ``--check`` mode (a >30% drop in fast-vs-legacy ratio fails CI).
+CHECK_TOLERANCE = 0.70
+
+
+def bench_steady_state(
+    networks: int, hosts_per_network: int, warmup: float, window: float
+) -> dict:
+    """Steady-state wall-clock, fast path vs legacy, same process.
+
+    The warmup (hierarchy formation, elections, first syncs) runs
+    off-timer; the timed region is pure steady state — every node sends
+    one unchanged heartbeat per period per channel and runs one failure
+    check, which is exactly the work the hot-path engine targets.
+    """
+    results: dict = {
+        "nodes": networks * hosts_per_network,
+        "warmup_s": warmup,
+        "window_s": window,
+    }
+    for mode, fast in (("fast", True), ("baseline", False)):
+        net, _hosts, _nodes = make_scheme_cluster(
+            "hierarchical",
+            networks,
+            hosts_per_network,
+            seed=47,
+            use_fast_path=fast,
+        )
+        net.run(until=warmup)
+        before = net.sim.events_executed
+        t0 = time.perf_counter()
+        net.run(until=warmup + window)
+        wall = time.perf_counter() - t0
+        events = net.sim.events_executed - before
+        results[mode] = {
+            "wall_s": round(wall, 4),
+            "events": events,
+            "events_per_sec": round(events / wall),
+            "sim_rate": round(window / wall, 2),
+        }
+    results["speedup"] = round(
+        results["baseline"]["wall_s"] / results["fast"]["wall_s"], 2
+    )
+    return results
+
+
+def run_check(report: dict, reference_path: Path) -> int:
+    """Compare this quick run's speedup against the committed reference."""
+    if not reference_path.exists():
+        print(f"check: no reference at {reference_path}; skipping", file=sys.stderr)
+        return 0
+    reference = json.loads(reference_path.read_text())
+    ref = reference.get("quick_reference", {}).get("speedup")
+    if ref is None:
+        print("check: reference lacks quick_reference.speedup; skipping", file=sys.stderr)
+        return 0
+    current = report["steady_state"]["quick"]["speedup"]
+    floor = ref * CHECK_TOLERANCE
+    verdict = "OK" if current >= floor else "REGRESSION"
+    print(
+        f"check: speedup {current}x vs reference {ref}x "
+        f"(floor {floor:.2f}x) -> {verdict}"
+    )
+    return 0 if current >= floor else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare speedup against the committed JSON; nonzero exit on regression",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        report = {
+            "quick": True,
+            "steady_state": {
+                "quick": bench_steady_state(5, 20, warmup=15.0, window=10.0),
+            },
+        }
+    else:
+        report = {
+            "quick": False,
+            "steady_state": {
+                "quick": bench_steady_state(5, 20, warmup=15.0, window=10.0),
+                "400": bench_steady_state(20, 20, warmup=15.0, window=30.0),
+            },
+            # The quick configuration's speedup doubles as the CI reference
+            # so --check compares like against like on any machine.
+            "quick_reference": None,  # filled below
+        }
+
+    if not args.quick:
+        report["quick_reference"] = {
+            "speedup": report["steady_state"]["quick"]["speedup"],
+            "config": "5x20 nodes, 10 sim-s window",
+        }
+
+    if args.check:
+        rc = run_check(report, DEFAULT_OUT)
+        print(json.dumps(report["steady_state"]["quick"], indent=2))
+        return rc
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    for name, r in report["steady_state"].items():
+        print(f"steady-state {name} ({r['nodes']} nodes): speedup {r['speedup']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,12 +14,24 @@ and check that the paper's properties hold unchanged:
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
 import pytest
 
 from conftest import print_table
 from repro.metrics import FailureExperiment
 
 SIZES = [(5, 20), (10, 20), (20, 20)]  # (networks, hosts) -> 100..400 nodes
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_scale.json"
 
 
 def run_sweep():
@@ -68,3 +80,53 @@ def test_scale_to_hundreds_of_nodes(one_shot):
     assert per_node[400] / per_node[100] < 1.3
     # Aggregate therefore ~linear.
     assert 3.0 < results[400].bandwidth.aggregate_rate / results[100].bandwidth.aggregate_rate < 5.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone mode: time the sweep and emit ``BENCH_scale.json``.
+
+    ``nodes -> {wall-clock, events/sec, detection, convergence}`` gives
+    future PRs an absolute scalability trajectory to regress against,
+    complementing the ratio-based ``BENCH_protocol_hotpath.json``.
+    """
+    parser = argparse.ArgumentParser(
+        description="Scalability sweep (100-400 nodes) emitting BENCH_scale.json"
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    from repro.metrics.experiment import make_scheme_cluster
+
+    report: dict = {"sizes": {}}
+    for networks, per in SIZES:
+        n = networks * per
+        # Steady-state timing: form the hierarchy off-timer, then measure.
+        net, _hosts, _nodes = make_scheme_cluster("hierarchical", networks, per, seed=31)
+        net.run(until=20.0)
+        before = net.sim.events_executed
+        t0 = time.perf_counter()
+        net.run(until=50.0)
+        wall = time.perf_counter() - t0
+        events = net.sim.events_executed - before
+        exp = FailureExperiment(
+            "hierarchical", networks, per, seed=31,
+            warmup=20.0, bandwidth_window=10.0, observe=30.0,
+        )
+        r = exp.run()
+        report["sizes"][str(n)] = {
+            "nodes": n,
+            "steady_wall_s": round(wall, 4),
+            "steady_events": events,
+            "events_per_sec": round(events / wall),
+            "detection_s": round(r.detection, 3) if r.detection else None,
+            "convergence_s": round(r.convergence, 3) if r.convergence else None,
+            "observers": r.observers,
+        }
+        print(f"{n} nodes: {wall:.2f}s wall, {events / wall:,.0f} events/s")
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ list, and matches return the per-machine attribute lists.
 
 from __future__ import annotations
 
+import heapq
 import re
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
@@ -104,6 +105,11 @@ class _Entry:
     record: NodeRecord
     last_refresh: float
     relayed_by: Optional[str]  # leader that vouches for this entry, None = heard directly
+    #: token of this entry's one live deadline-heap record (lazy deletion)
+    stamp: int = 0
+    #: dict-insertion rank, so heap-driven purges report dead entries in
+    #: the same order the legacy full scans did (trace determinism)
+    order: int = 0
 
 
 class Directory:
@@ -113,6 +119,25 @@ class Directory:
     the property the paper leans on when overlapping groups deliver
     duplicate updates ("because the operation caused by an update message at
     each node is idempotent, redundant messages will not cause confusion").
+
+    Hot-path engine (mirrors the net layer's version-validated caches):
+
+    * **Deadline-driven expiry** — while :attr:`use_fast_path` is on, every
+      freshness change pushes a ``(freshness, stamp, node_id)`` record onto
+      a per-class min-heap (direct vs relayed), and the periodic
+      ``purge_stale`` / ``purge_stale_relayed`` scans become heap pops:
+      amortised O(1) per refresh instead of O(members) per tick.  Stale
+      heap records (an entry refreshed since the push, reclassified, or
+      removed) are invalidated by ``stamp`` mismatch and discarded when
+      they surface — lazy deletion, as in the simulator's event queue.
+    * **Versioned views** — :attr:`version` counts structural changes (key
+      set or record payloads); :meth:`members`, :meth:`records` and
+      :meth:`snapshot` serve cached tuples rebuilt only when the version
+      moved, the same contract as ``Topology.version`` one layer down.
+
+    Both purge implementations evaluate the *same* staleness predicates on
+    the same values and report the dead in the same (insertion) order, so
+    seeded simulation traces are identical on either path.
     """
 
     def __init__(self, owner: str) -> None:
@@ -123,6 +148,73 @@ class Directory:
         # O(1) ("the membership information relayed by a group leader has
         # the same life time as the leader itself").
         self._vouch_times: Dict[str, float] = {}
+        self._use_fast_path = True
+        # Deadline heaps: (freshness key, stamp, node_id).  A record is
+        # live iff its stamp equals the entry's current stamp; every
+        # freshness/classification change bumps the stamp and pushes a new
+        # record, orphaning the old one.
+        self._direct_heap: List[Tuple[float, int, str]] = []
+        self._relayed_heap: List[Tuple[float, int, str]] = []
+        self._stamp = 0
+        self._order = 0
+        self._version = 0
+        self._members_cache: Tuple[int, Tuple[str, ...]] = (-1, ())
+        self._records_cache: Tuple[int, Tuple[NodeRecord, ...]] = (-1, ())
+        self._snapshot_cache: Tuple[int, Dict[str, NodeRecord]] = (-1, {})
+
+    # ------------------------------------------------------------------
+    # Hot-path plumbing
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone counter of structural changes (keys or record payloads).
+
+        Freshness-only updates (``refresh``, ``vouch``, ``reattribute``) do
+        not move it, so cached views stay valid across heartbeat storms.
+        """
+        return self._version
+
+    @property
+    def use_fast_path(self) -> bool:
+        """Toggle for the deadline-heap purge engine (on by default).
+
+        Turning it off falls back to the legacy full-scan purges — kept for
+        A/B benchmarking; traces are identical either way.  Turning it
+        (back) on rebuilds the heaps from the live table.
+        """
+        return self._use_fast_path
+
+    @use_fast_path.setter
+    def use_fast_path(self, enabled: bool) -> None:
+        enabled = bool(enabled)
+        if enabled and not self._use_fast_path:
+            self._rebuild_heaps()
+        elif not enabled:
+            self._direct_heap.clear()
+            self._relayed_heap.clear()
+        self._use_fast_path = enabled
+
+    def _rebuild_heaps(self) -> None:
+        self._direct_heap.clear()
+        self._relayed_heap.clear()
+        for nid, entry in self._entries.items():
+            if nid == self.owner:
+                continue
+            self._stamp += 1
+            entry.stamp = self._stamp
+            heap = self._direct_heap if entry.relayed_by is None else self._relayed_heap
+            heap.append((entry.last_refresh, entry.stamp, nid))
+        heapq.heapify(self._direct_heap)
+        heapq.heapify(self._relayed_heap)
+
+    def _note_deadline(self, nid: str, entry: _Entry, key: float) -> None:
+        """Push ``entry``'s current freshness onto its class heap."""
+        if nid == self.owner:
+            return  # the owner never expires; keep it out of the heaps
+        self._stamp += 1
+        entry.stamp = self._stamp
+        heap = self._direct_heap if entry.relayed_by is None else self._relayed_heap
+        heapq.heappush(heap, (key, entry.stamp, nid))
 
     # ------------------------------------------------------------------
     # Mutation
@@ -142,8 +234,33 @@ class Directory:
         cur = self._entries.get(record.node_id)
         if cur is not None and cur.record.incarnation > record.incarnation:
             return False
+        if cur is not None and cur.record is record:
+            # Same payload object (records travel by reference in the
+            # simulator, and senders intern unchanged heartbeats): a pure
+            # freshness/attribution bump, no deep equality, no new entry.
+            reclass = (cur.relayed_by is None) != (relayed_by is None)
+            cur.last_refresh = now
+            cur.relayed_by = relayed_by
+            if reclass and self._use_fast_path:
+                # Class flip (direct<->relayed): the live heap record sits
+                # in the wrong heap and would be discarded as an orphan,
+                # so move it.  Pure freshness bumps leave the heap alone —
+                # the purge loops re-key stale-keyed records on surfacing.
+                self._note_deadline(record.node_id, cur, now)
+            return False
         changed = cur is None or cur.record != record
-        self._entries[record.node_id] = _Entry(record, now, relayed_by)
+        if cur is None:
+            self._order += 1
+            entry = _Entry(record, now, relayed_by, order=self._order)
+            self._entries[record.node_id] = entry
+        else:
+            entry = cur
+            entry.record = record
+            entry.last_refresh = now
+            entry.relayed_by = relayed_by
+        self._version += 1
+        if self._use_fast_path:
+            self._note_deadline(record.node_id, entry, now)
         return changed
 
     def refresh(self, node_id: str, now: float, relayed_by: Optional[str] = None) -> bool:
@@ -153,12 +270,18 @@ class Directory:
             return False
         entry.last_refresh = now
         if relayed_by is not None or entry.relayed_by is not None:
+            was_direct = entry.relayed_by is None
             entry.relayed_by = relayed_by
+            if was_direct != (relayed_by is None) and self._use_fast_path:
+                self._note_deadline(node_id, entry, now)  # moved heaps
         return True
 
     def remove(self, node_id: str) -> bool:
         """Drop an entry (failure detected or departure announced)."""
-        return self._entries.pop(node_id, None) is not None
+        if self._entries.pop(node_id, None) is None:
+            return False
+        self._version += 1
+        return True  # heap records orphaned; discarded lazily on surfacing
 
     def purge_stale(self, now: float, timeout: float) -> List[str]:
         """Remove directly-heard entries not refreshed within ``timeout``.
@@ -166,6 +289,8 @@ class Directory:
         Returns the purged node ids.  Entries for the owner itself never
         expire (a node always knows it is alive).
         """
+        if self._use_fast_path:
+            return self._pop_stale_direct(now, timeout)
         dead = [
             nid
             for nid, e in self._entries.items()
@@ -175,7 +300,46 @@ class Directory:
         ]
         for nid in dead:
             del self._entries[nid]
+        if dead:
+            self._version += 1
         return dead
+
+    def _pop_stale_direct(self, now: float, timeout: float) -> List[str]:
+        """Heap-pop equivalent of the direct-entry staleness scan.
+
+        Each live entry has exactly one heap record whose key is a *lower
+        bound* on ``last_refresh`` (freshness bumps do not touch the heap).
+        When a stale-keyed record surfaces but the entry was refreshed
+        since, it is re-keyed at the current ``last_refresh`` and pushed
+        back — at most once per timeout window per entry, so a quiet
+        period costs O(live entries / timeout periods), not O(refreshes).
+        """
+        heap = self._direct_heap
+        entries = self._entries
+        dead: List[Tuple[int, str]] = []
+        while heap:
+            key, stamp, nid = heap[0]
+            entry = entries.get(nid)
+            if entry is None or entry.stamp != stamp or entry.relayed_by is not None:
+                heapq.heappop(heap)  # orphaned by remove/reclass
+                continue
+            if not now - key > timeout:
+                break  # key <= last_refresh, so the rest is fresh too
+            fresh = entry.last_refresh
+            if not now - fresh > timeout:  # identical predicate to legacy
+                # Refreshed since the record was pushed: re-key, move on.
+                heapq.heappop(heap)
+                self._stamp += 1
+                entry.stamp = self._stamp
+                heapq.heappush(heap, (fresh, entry.stamp, nid))
+                continue
+            heapq.heappop(heap)
+            del entries[nid]
+            dead.append((entry.order, nid))
+        if dead:
+            self._version += 1
+            dead.sort()
+        return [nid for _order, nid in dead]
 
     def purge_relayed_by(self, leader: str) -> List[str]:
         """Drop every entry vouched for by ``leader`` (leader died).
@@ -187,6 +351,8 @@ class Directory:
         dead = [nid for nid, e in self._entries.items() if e.relayed_by == leader]
         for nid in dead:
             del self._entries[nid]
+        if dead:
+            self._version += 1
         return dead
 
     def purge_stale_relayed(self, now: float, timeout: float) -> List[str]:
@@ -195,6 +361,8 @@ class Directory:
         An entry counts as fresh if either it was refreshed directly or its
         relayer vouched (see :meth:`vouch`) within the window.
         """
+        if self._use_fast_path:
+            return self._pop_stale_relayed(now, timeout)
         dead = []
         for nid, e in self._entries.items():
             if nid == self.owner or e.relayed_by is None:
@@ -204,7 +372,51 @@ class Directory:
                 dead.append(nid)
         for nid in dead:
             del self._entries[nid]
+        if dead:
+            self._version += 1
         return dead
+
+    def _pop_stale_relayed(self, now: float, timeout: float) -> List[str]:
+        """Heap-pop equivalent of the relayed-entry staleness scan.
+
+        A relayed entry's effective freshness is ``max(last_refresh,
+        relayer's vouch time)``; neither refreshes nor vouches touch the
+        heap, so a live record's key is only a *lower bound* on the
+        entry's effective freshness.  When a stale-keyed record surfaces
+        but the entry is effectively fresh, the record is re-keyed at the
+        effective freshness and pushed back — each entry is re-keyed at
+        most once per timeout window, keeping the purge amortised O(1)
+        per refresh/vouch.
+        """
+        heap = self._relayed_heap
+        entries = self._entries
+        vouch = self._vouch_times
+        dead: List[Tuple[int, str]] = []
+        while heap:
+            key, stamp, nid = heap[0]
+            entry = entries.get(nid)
+            if entry is None or entry.stamp != stamp or entry.relayed_by is None:
+                heapq.heappop(heap)  # orphaned by remove/reclass
+                continue
+            if not now - key > timeout:
+                break  # key <= effective freshness, so the rest is fresh too
+            effective = max(
+                entry.last_refresh, vouch.get(entry.relayed_by, float("-inf"))
+            )
+            if not now - effective > timeout:
+                # Refreshed or re-vouched since pushed: re-key, move on.
+                heapq.heappop(heap)
+                self._stamp += 1
+                entry.stamp = self._stamp
+                heapq.heappush(heap, (effective, entry.stamp, nid))
+                continue
+            heapq.heappop(heap)
+            del entries[nid]
+            dead.append((entry.order, nid))
+        if dead:
+            self._version += 1
+            dead.sort()
+        return [nid for _order, nid in dead]
 
     def vouch(self, relayer: str, now: float) -> None:
         """Record that ``relayer`` is alive, keeping its relayed entries fresh."""
@@ -234,6 +446,9 @@ class Directory:
     def clear(self) -> None:
         self._entries.clear()
         self._vouch_times.clear()
+        self._direct_heap.clear()
+        self._relayed_heap.clear()
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -256,16 +471,38 @@ class Directory:
         entry = self._entries.get(node_id)
         return entry.relayed_by if entry else None
 
-    def members(self) -> List[str]:
-        """All known node ids, sorted (deterministic iteration)."""
-        return sorted(self._entries)
+    def members(self) -> Tuple[str, ...]:
+        """All known node ids, sorted (deterministic iteration).
 
-    def records(self) -> List[NodeRecord]:
-        return [self._entries[nid].record for nid in sorted(self._entries)]
+        Served from a cache validated against :attr:`version`; rebuilding
+        only happens after a structural change, not per heartbeat tick.
+        """
+        ver, cached = self._members_cache
+        if ver != self._version:
+            cached = tuple(sorted(self._entries))
+            self._members_cache = (self._version, cached)
+        return cached
+
+    def records(self) -> Tuple[NodeRecord, ...]:
+        """All records in ``members()`` order, cached like :meth:`members`."""
+        ver, cached = self._records_cache
+        if ver != self._version:
+            entries = self._entries
+            cached = tuple(entries[nid].record for nid in self.members())
+            self._records_cache = (self._version, cached)
+        return cached
 
     def snapshot(self) -> Dict[str, NodeRecord]:
-        """Copy of the table, for bootstrap transfers and assertions."""
-        return {nid: e.record for nid, e in self._entries.items()}
+        """Copy of the table, for bootstrap transfers and assertions.
+
+        The returned dict is the caller's to mutate; it is materialised
+        from a version-validated cache.
+        """
+        ver, cached = self._snapshot_cache
+        if ver != self._version:
+            cached = {nid: e.record for nid, e in self._entries.items()}
+            self._snapshot_cache = (self._version, cached)
+        return dict(cached)
 
     def lookup_service(
         self,
@@ -287,8 +524,7 @@ class Directory:
             else:
                 part_re = re.compile(partition)
         out: List[NodeRecord] = []
-        for nid in sorted(self._entries):
-            record = self._entries[nid].record
+        for record in self.records():
             for name, parts in record.services.items():
                 if not svc_re.fullmatch(name):
                     continue

@@ -11,7 +11,7 @@ Fig. 4, where *group* is a per-observer notion.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.core.heartbeat import Heartbeat
 
@@ -28,6 +28,10 @@ class PeerState:
     suppressed: bool = False
     backup: Optional[str] = None
     incarnation: int = 0
+    #: the last heartbeat payload heard from this peer.  Senders intern
+    #: unchanged heartbeats, so ``hb is last_hb`` identifies a no-change
+    #: heartbeat in O(1) — the receive fast path's precondition.
+    last_hb: Optional[Heartbeat] = None
 
 
 @dataclass
@@ -45,6 +49,10 @@ class GroupState:
     #: a purged leader whose vouched entries await re-attribution to the
     #: next leader that appears on this channel
     last_dead_leader: Optional[str] = None
+    #: ids of peers currently flying the leader flag, maintained
+    #: incrementally so election checks stop rescanning the peer table
+    _leader_ids: Set[str] = field(default_factory=set, repr=False)
+    _leaders_sorted: Optional[List[str]] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     # Updates from received heartbeats
@@ -57,28 +65,57 @@ class GroupState:
             peer = PeerState(hb.node_id, now)
             self.peers[hb.node_id] = peer
         peer.last_heard = now
-        peer.is_leader = hb.is_leader
+        if peer.is_leader != hb.is_leader:
+            peer.is_leader = hb.is_leader
+            if hb.is_leader:
+                self._leader_ids.add(hb.node_id)
+            else:
+                self._leader_ids.discard(hb.node_id)
+            self._leaders_sorted = None
+        elif hb.is_leader:
+            self._leader_ids.add(hb.node_id)  # heals a first-sighting miss
         peer.suppressed = hb.suppressed
         peer.backup = hb.backup
         peer.incarnation = hb.record.incarnation
+        peer.last_hb = hb
         return is_new
 
     def drop_peer(self, node_id: str) -> Optional[PeerState]:
-        return self.peers.pop(node_id, None)
+        peer = self.peers.pop(node_id, None)
+        if peer is not None and node_id in self._leader_ids:
+            self._leader_ids.discard(node_id)
+            self._leaders_sorted = None
+        return peer
 
     def purge_silent(self, now: float, timeout: float) -> List[PeerState]:
         """Remove and return peers silent for more than ``timeout``."""
         dead = [p for p in self.peers.values() if now - p.last_heard > timeout]
         for p in dead:
             del self.peers[p.node_id]
+            if p.node_id in self._leader_ids:
+                self._leader_ids.discard(p.node_id)
+                self._leaders_sorted = None
         return dead
 
     # ------------------------------------------------------------------
     # Election views
     # ------------------------------------------------------------------
+    def leader_visible(self) -> bool:
+        """O(1): is any peer currently flying the leader flag?"""
+        return bool(self._leader_ids)
+
     def visible_leaders(self) -> List[str]:
-        """Peers currently flying the leader flag, sorted by id."""
-        return sorted(p.node_id for p in self.peers.values() if p.is_leader)
+        """Peers currently flying the leader flag, sorted by id.
+
+        Served from an incrementally-maintained set (invalidated only on
+        flag flips and peer departures), so per-heartbeat election checks
+        cost O(1) instead of a peer-table scan.
+        """
+        cached = self._leaders_sorted
+        if cached is None:
+            cached = sorted(self._leader_ids)
+            self._leaders_sorted = cached
+        return list(cached)
 
     def current_leader(self, self_id: str) -> Optional[str]:
         """The leader this node follows on the channel (or itself)."""

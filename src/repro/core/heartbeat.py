@@ -7,6 +7,16 @@ this channel ("A group leader is found if a special flag in its heartbeat
 packets is set", Bootstrap Protocol), whether it currently *sees* a leader
 (used by the bully election to avoid two leaders that can see each other),
 and the leader's designated backup.
+
+Interning contract (protocol hot path): between membership and election
+changes a node's heartbeat on a level is *identical*, so senders cache the
+frozen instance per level and re-send the same object each period.  The
+cached payload is invalidated by any change to the signature
+``(record identity, is_leader, suppressed, backup, update_seq)`` — i.e. a
+new incarnation or self-record edit, an election flip, a backup
+re-designation, or an update sent on the channel.  Receivers exploit the
+other direction: ``hb is peer.last_hb`` proves nothing changed and
+short-circuits straight to a directory freshness refresh.
 """
 
 from __future__ import annotations

@@ -6,8 +6,8 @@ C++ daemon (Fig. 10).  Its five thread roles map to event handlers:
 =================  ===========================================================
 Announcer          :meth:`_heartbeat_tick` — periodic heartbeats on every
                    channel the node participates in
-Receiver           :meth:`_on_multicast` / :meth:`_on_unicast` — heartbeats,
-                   updates, directory sync polls
+Receiver           per-channel handlers (:meth:`_make_channel_handler`) and
+                   :meth:`_on_unicast` — heartbeats, updates, sync polls
 Status Tracker     :meth:`_check_tick` — purge silent peers, expire relayed
                    entries, drive elections
 Contender          :mod:`repro.core.election` decisions invoked from the
@@ -34,7 +34,7 @@ Directory semantics:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.directory import NodeRecord
 from repro.core.config import HierarchicalConfig
@@ -51,17 +51,31 @@ HMEMBER_PORT = "hmember"
 
 
 class HierarchicalNode(MembershipNode):
-    """One node of the topology-adaptive hierarchical protocol."""
+    """One node of the topology-adaptive hierarchical protocol.
+
+    ``use_fast_path`` selects the protocol hot-path engine (on by default):
+    interned heartbeat payloads, an identity-based no-change receive path,
+    deadline-heap directory purges, and allocation-free recurring timers.
+    The legacy scan-per-tick path is kept for A/B benchmarking; seeded
+    traces are identical on both (see docs/PERFORMANCE.md).
+    """
 
     config: HierarchicalConfig
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args, use_fast_path: bool = True, **kwargs) -> None:
         if "config" not in kwargs or kwargs["config"] is None:
             kwargs["config"] = HierarchicalConfig()
         super().__init__(*args, **kwargs)
         if not isinstance(self.config, HierarchicalConfig):
             raise TypeError("HierarchicalNode requires a HierarchicalConfig")
+        self.use_fast_path = use_fast_path
         self._groups: Dict[int, GroupState] = {}
+        # Sorted view of self._groups' keys, maintained on join/leave so
+        # the per-heartbeat/per-tick loops stop re-sorting the dict.
+        self._levels: Tuple[int, ...] = ()
+        # Interned outgoing heartbeat per level: (record, is_leader,
+        # suppressed, backup, update_seq) -> frozen Heartbeat instance.
+        self._hb_cache: Dict[int, tuple] = {}
         self._updates = UpdateManager(self.node_id, self.config.piggyback_depth)
         self._last_sync: Dict[str, float] = {}
         # Death certificates: node_id -> (incarnation, time of removal).
@@ -94,10 +108,13 @@ class HierarchicalNode(MembershipNode):
             return
         self.running = True
         self.incarnation += 1
+        self.directory.use_fast_path = self.use_fast_path
         self.directory.clear()
         self._updates.reset()
         self._last_sync.clear()
         self._groups.clear()
+        self._levels = ()
+        self._hb_cache.clear()
         self._tombstones.clear()
         self._tombstone_refutes.clear()
         self._pending_syncs.clear()
@@ -106,10 +123,21 @@ class HierarchicalNode(MembershipNode):
         self.network.bind(self.node_id, HMEMBER_PORT, self._on_unicast)
         self._participate(0)
         phase = self.rng.uniform(0, self.config.heartbeat_period)
-        self._hb_timer = self.network.sim.call_after(phase, self._heartbeat_tick)
-        self._check_timer = self.network.sim.call_after(
-            self.config.heartbeat_period, self._check_tick
-        )
+        if self.use_fast_path:
+            # Recurring timers: one reusable event each, zero allocations
+            # per period.  Firing order and seq consumption are identical
+            # to the legacy self-rescheduling callbacks below.
+            self._hb_timer = self.network.sim.call_every(
+                self.config.heartbeat_period, self._heartbeat_tick, first_delay=phase
+            )
+            self._check_timer = self.network.sim.call_every(
+                self.config.heartbeat_period, self._check_tick
+            )
+        else:
+            self._hb_timer = self.network.sim.call_after(phase, self._heartbeat_tick)
+            self._check_timer = self.network.sim.call_after(
+                self.config.heartbeat_period, self._check_tick
+            )
 
     def stop(self) -> None:
         if not self.running:
@@ -118,6 +146,8 @@ class HierarchicalNode(MembershipNode):
         for level in list(self._groups):
             self.network.unsubscribe(self.config.channel(level), self.node_id)
         self._groups.clear()
+        self._levels = ()
+        self._hb_cache.clear()
         self.network.transport.unbind(self.node_id, HMEMBER_PORT)
         if self._hb_timer is not None:
             self._hb_timer.cancel()
@@ -144,7 +174,12 @@ class HierarchicalNode(MembershipNode):
     # Introspection (used by tests, experiments and the proxy protocol)
     # ==================================================================
     def levels(self) -> List[int]:
-        """Channels this node currently participates in, ascending."""
+        """Channels this node currently participates in, ascending.
+
+        Derived from ``_groups`` (not the hot-path ``_levels`` cache) so
+        external inspection stays truthful even if tests poke ``_groups``
+        directly.
+        """
         return sorted(self._groups)
 
     def is_leader(self, level: int) -> bool:
@@ -171,13 +206,24 @@ class HierarchicalNode(MembershipNode):
         if level in self._groups or level > self.config.max_level:
             return
         self._groups[level] = GroupState(level)
+        self._levels = tuple(sorted(self._groups))
         channel = self.config.channel(level)
         self.network.subscribe(channel, self.node_id, self._make_channel_handler(level))
         self._send_heartbeat(level)  # announce presence immediately
 
     def _make_channel_handler(self, level: int):
+        # Flat dispatch: one closure frame per delivery instead of three.
+        # Heartbeats dominate steady-state receive traffic, so the kind
+        # test orders them first.
+        groups = self._groups
+
         def handler(packet: Packet) -> None:
-            self._on_multicast(packet, level)
+            if not self.running or level not in groups:
+                return
+            if packet.kind == "heartbeat":
+                self._on_heartbeat(packet.payload, level)
+            elif packet.kind == "update":
+                self._on_update(packet.payload, level)
 
         return handler
 
@@ -192,6 +238,8 @@ class HierarchicalNode(MembershipNode):
         group = self._groups.pop(level, None)
         if group is None:
             return
+        self._levels = tuple(sorted(self._groups))
+        self._hb_cache.pop(level, None)
         self.network.unsubscribe(self.config.channel(level), self.node_id)
         if orphans is not None:
             orphans.update(group.member_ids())
@@ -199,7 +247,7 @@ class HierarchicalNode(MembershipNode):
 
     def _heard_level(self, node_id: str) -> Optional[int]:
         """Lowest level where ``node_id`` is currently a direct peer."""
-        for level in sorted(self._groups):
+        for level in self._levels:
             if node_id in self._groups[level].peers:
                 return level
         return None
@@ -210,24 +258,48 @@ class HierarchicalNode(MembershipNode):
     def _heartbeat_tick(self) -> None:
         if not self.running:
             return
-        for level in sorted(self._groups):
+        for level in self._levels:
             self._send_heartbeat(level)
-        self._hb_timer = self.network.sim.call_after(
-            self.config.heartbeat_period, self._heartbeat_tick
-        )
+        if not self.use_fast_path:
+            self._hb_timer = self.network.sim.call_after(
+                self.config.heartbeat_period, self._heartbeat_tick
+            )
 
     def _send_heartbeat(self, level: int) -> None:
         group = self._groups.get(level)
         if group is None:
             return
-        hb = Heartbeat(
-            record=self.self_record(),
-            level=level,
-            is_leader=group.i_am_leader,
-            suppressed=group.suppressed,
-            backup=group.my_backup if group.i_am_leader else None,
-            update_seq=self._updates.current_seq(level),
-        )
+        record = self.self_record()
+        backup = group.my_backup if group.i_am_leader else None
+        seq = self._updates.current_seq(level)
+        hb: Optional[Heartbeat] = None
+        if self.use_fast_path:
+            # Interned payload: a heartbeat is identical between state
+            # changes, so reuse the frozen instance while its signature
+            # (record identity, election flags, backup, update seq) holds.
+            cached = self._hb_cache.get(level)
+            if (
+                cached is not None
+                and cached[0] is record
+                and cached[1] == group.i_am_leader
+                and cached[2] == group.suppressed
+                and cached[3] == backup
+                and cached[4] == seq
+            ):
+                hb = cached[5]
+        if hb is None:
+            hb = Heartbeat(
+                record=record,
+                level=level,
+                is_leader=group.i_am_leader,
+                suppressed=group.suppressed,
+                backup=backup,
+                update_seq=seq,
+            )
+            if self.use_fast_path:
+                self._hb_cache[level] = (
+                    record, group.i_am_leader, group.suppressed, backup, seq, hb,
+                )
         self.network.multicast(
             self.node_id,
             self.config.channel(level),
@@ -240,17 +312,48 @@ class HierarchicalNode(MembershipNode):
     # ==================================================================
     # Receiver: multicast
     # ==================================================================
-    def _on_multicast(self, packet: Packet, level: int) -> None:
-        if not self.running or level not in self._groups:
-            return
-        if packet.kind == "heartbeat":
-            self._on_heartbeat(packet.payload, level)
-        elif packet.kind == "update":
-            self._on_update(packet.payload, level)
-
     def _on_heartbeat(self, hb: Heartbeat, level: int) -> None:
         group = self._groups[level]
         now = self.network.now
+        if self.use_fast_path:
+            nid = hb.record.node_id
+            peer = group.peers.get(nid)
+            directory = self.directory
+            if (
+                peer is not None
+                and hb is peer.last_hb
+                and directory.refresh(nid, now, relayed_by=None)
+            ):
+                # No-change fast path: the sender interned this payload, so
+                # nothing about the peer moved since its last heartbeat.
+                # Freshness is bumped (peer + directory + vouch), the
+                # failover/lost-update checks still run (they depend on
+                # *our* state, not the sender's), and record absorption is
+                # skipped entirely.  Election re-evaluation is skipped only
+                # while a leader is in sight and we are not one ourselves —
+                # the one configuration where an unchanged heartbeat
+                # provably cannot move the election clock (the leaderless
+                # countdown and the two-leaders rule both need a state
+                # change or our own flag, and those route through the slow
+                # path or the status tick).
+                if self._tombstones:
+                    self._tombstones.pop(nid, None)
+                peer.last_heard = now
+                if hb.is_leader:
+                    directory.vouch(nid, now)
+                    if (
+                        group.last_dead_leader is not None
+                        and group.last_dead_leader != nid
+                    ):
+                        directory.reattribute(group.last_dead_leader, nid)
+                        group.last_dead_leader = None
+                elif level >= 1:
+                    directory.vouch(nid, now)
+                if self._updates.behind(nid, level, hb.update_seq):
+                    self._maybe_sync(nid)
+                if group.i_am_leader or not group.leader_visible():
+                    self._evaluate_election(level)
+                return
         was_known = hb.node_id in group.peers
         # Hearing a node directly is proof of life: clear any certificate.
         self._tombstones.pop(hb.node_id, None)
@@ -425,14 +528,14 @@ class HierarchicalNode(MembershipNode):
         * otherwise our level-0 group leader, whose heartbeats vouch for
           everything it relays to us.
         """
-        for level in sorted(self._groups):
+        for level in self._levels:
             peer = self._groups[level].peers.get(via)
             if peer is not None and (level >= 1 or peer.is_leader):
                 return via
         if any(g.i_am_leader for g in self._groups.values()):
             return self.node_id
         if self._groups:
-            lowest = self._groups[min(self._groups)]
+            lowest = self._groups[self._levels[0]]
             leader = lowest.current_leader(self.node_id)
             if leader is not None:
                 return leader
@@ -529,19 +632,22 @@ class HierarchicalNode(MembershipNode):
             return
         now = self.network.now
         # Retry unfinished sync exchanges (the rate limiter paces them).
-        for peer in sorted(self._pending_syncs):
-            self._maybe_sync(peer)
-        for level in sorted(self._groups):
+        if self._pending_syncs:
+            for peer in sorted(self._pending_syncs):
+                self._maybe_sync(peer)
+        for level in self._levels:
             group = self._groups.get(level)
             if group is None:
                 continue  # removed by a step-down earlier in this tick
             timeout = self.config.level_timeout(level)
             for peer in group.purge_silent(now, timeout):
                 self._handle_peer_death(level, peer)
-        for level in sorted(self._groups):
+        for level in self._levels:
             if level in self._groups:
                 self._evaluate_election(level)
         # Backstop: relayed entries nobody has vouched for in a long time.
+        # On the fast path these purges are deadline-heap pops (amortised
+        # O(1) in a quiet period) instead of full directory scans.
         for nid in self.directory.purge_stale_relayed(now, self.config.relayed_timeout):
             self._emit_member_down(nid, reason="relayed_timeout")
         # Safety net for orphaned direct entries (no live channel refreshes
@@ -549,9 +655,10 @@ class HierarchicalNode(MembershipNode):
         safety = self.config.level_timeout(self.config.max_level) + self.config.fail_timeout
         for nid in self.directory.purge_stale(now, safety):
             self._emit_member_down(nid, reason="orphan_timeout")
-        self._check_timer = self.network.sim.call_after(
-            self.config.heartbeat_period, self._check_tick
-        )
+        if not self.use_fast_path:
+            self._check_timer = self.network.sim.call_after(
+                self.config.heartbeat_period, self._check_tick
+            )
 
     def _handle_peer_death(self, level: int, peer: PeerState) -> None:
         group = self._groups[level]
@@ -663,7 +770,7 @@ class HierarchicalNode(MembershipNode):
         # member never hears again).
         anchor: Optional[str] = None
         if self._groups:
-            lowest = self._groups[min(self._groups)]
+            lowest = self._groups[self._levels[0]]
             anchor = lowest.current_leader(self.node_id)
         now = self.network.now
         for nid in sorted(orphans):
@@ -685,7 +792,7 @@ class HierarchicalNode(MembershipNode):
         i.e. the subtree the new leader represents upward.
         """
         ids = {self.node_id}
-        for lv in sorted(self._groups):
+        for lv in self._levels:
             if lv <= level:
                 ids.update(self._groups[lv].member_ids())
         out = []
@@ -703,7 +810,7 @@ class HierarchicalNode(MembershipNode):
         if not ops:
             return
         uid = self._updates.new_uid()
-        for level in sorted(self._groups):
+        for level in self._levels:
             self._send_update(level, ops, uid=uid, origin=self.node_id)
 
     def _send_update(
@@ -749,7 +856,7 @@ class HierarchicalNode(MembershipNode):
         channel too when we lead it (overlapped groups: members the sender
         could not reach still hear the leader's copy).
         """
-        for level in sorted(self._groups):
+        for level in self._levels:
             group = self._groups[level]
             if level == from_level and not group.i_am_leader:
                 continue
@@ -782,8 +889,10 @@ class HierarchicalNode(MembershipNode):
                 existing = self.directory.get(op.node_id)
                 if existing is None or existing.incarnation > op.incarnation:
                     continue
-                for level in sorted(self._groups):
-                    group = self._groups[level]
+                for level in self._levels:
+                    group = self._groups.get(level)
+                    if group is None:
+                        continue  # left during this loop (leader takeover)
                     peer = group.peers.get(op.node_id)
                     if peer is not None and peer.is_leader:
                         # Same failover bookkeeping as a detected leader

@@ -173,4 +173,4 @@ class MClient:
 
     def members(self) -> List[str]:
         """All currently-known nodes (convenience beyond the paper API)."""
-        return self._directory.members()
+        return list(self._directory.members())

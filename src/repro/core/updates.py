@@ -96,19 +96,40 @@ class RecvOutcome:
     relay: bool = False
 
 
-class UpdateManager:
-    """Per-node bookkeeping for the update sub-protocol."""
+#: Default bound on the remembered-uid window (see UpdateManager).
+DEFAULT_SEEN_UID_WINDOW = 4096
 
-    def __init__(self, node_id: str, piggyback_depth: int = 3) -> None:
+
+class UpdateManager:
+    """Per-node bookkeeping for the update sub-protocol.
+
+    ``seen_uid_window`` bounds the uid-deduplication memory: uids are kept
+    in an insertion-ordered window and the oldest are evicted once the
+    window overflows, so long-running nodes no longer leak memory linearly
+    in cluster churn.  The window only needs to cover uids that can still
+    arrive late — bounded by piggyback depth times fan-in in practice — and
+    an evicted uid that *does* straggle back is merely re-applied, which
+    the paper's idempotence argument makes harmless ("redundant messages
+    will not cause confusion").
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        piggyback_depth: int = 3,
+        seen_uid_window: int = DEFAULT_SEEN_UID_WINDOW,
+    ) -> None:
         self.node_id = node_id
         self.piggyback_depth = piggyback_depth
+        self.seen_uid_window = seen_uid_window
         # outgoing per-channel state
         self._next_seq: Dict[int, int] = {}
         self._recent: Dict[int, List[Tuple[int, int, Tuple[UpdateOp, ...]]]] = {}
         # incoming per (sender, level) stream position
         self._last_seen: Dict[Tuple[str, int], int] = {}
-        # uids already applied/relayed
-        self._seen_uids: set[int] = set()
+        # uids already applied/relayed: insertion-ordered (dict preserves
+        # insertion order) so eviction drops the oldest first
+        self._seen_uids: Dict[int, None] = {}
 
     def reset(self) -> None:
         """Forget everything (daemon restart)."""
@@ -152,11 +173,19 @@ class UpdateManager:
         if len(recent) > self.piggyback_depth:
             del recent[: len(recent) - self.piggyback_depth]
         # Anything we send is by definition known to us.
-        self._seen_uids.add(msg_uid)
+        self.mark_seen(msg_uid)
         return msg
 
     def mark_seen(self, uid: int) -> None:
-        self._seen_uids.add(uid)
+        seen = self._seen_uids
+        if uid in seen:
+            return
+        seen[uid] = None
+        if len(seen) > self.seen_uid_window:
+            # Evict the oldest remembered uids (insertion order).
+            overflow = len(seen) - self.seen_uid_window
+            for old in list(itertools.islice(iter(seen), overflow)):
+                del seen[old]
 
     # ------------------------------------------------------------------
     # Incoming
@@ -180,7 +209,7 @@ class UpdateManager:
         if msg.seq <= last:
             # Duplicate or reordered-behind packet: uid dedup still applies.
             if msg.uid not in self._seen_uids:
-                self._seen_uids.add(msg.uid)
+                self.mark_seen(msg.uid)
                 outcome.apply.append((msg.uid, msg.ops))
                 outcome.relay = True
             return outcome
@@ -198,12 +227,12 @@ class UpdateManager:
             for seq in sorted(recovered):
                 uid, ops = recovered[seq]
                 if uid not in self._seen_uids:
-                    self._seen_uids.add(uid)
+                    self.mark_seen(uid)
                     outcome.apply.append((uid, ops))
         self._last_seen[key] = msg.seq
 
         if msg.uid not in self._seen_uids:
-            self._seen_uids.add(msg.uid)
+            self.mark_seen(msg.uid)
             outcome.apply.append((msg.uid, msg.ops))
             outcome.relay = True
         return outcome

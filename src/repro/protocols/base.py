@@ -67,6 +67,12 @@ class MembershipNode(ABC):
     ``start`` re-joins from scratch with a bumped incarnation.
     """
 
+    #: Enable the protocol hot-path engine (interned self records and
+    #: heartbeats, deadline-heap purges, recurring timers).  Class default;
+    #: :class:`~repro.core.node.HierarchicalNode` exposes it per instance.
+    #: Flip only before ``start()`` — the legacy path exists for A/B runs.
+    use_fast_path: bool = True
+
     def __init__(
         self,
         network: Network,
@@ -85,43 +91,62 @@ class MembershipNode(ABC):
         self.directory = Directory(node_id)
         self.running = False
         self.rng = network.rng.stream(f"proto.{node_id}")
+        self._self_record_cache: Optional[NodeRecord] = None
 
     # ------------------------------------------------------------------
     # Self description
     # ------------------------------------------------------------------
     def self_record(self) -> NodeRecord:
-        """The record this node currently publishes about itself."""
-        return NodeRecord(
+        """The record this node currently publishes about itself.
+
+        On the fast path the frozen record is interned until either the
+        published content changes (:meth:`_self_changed`) or the
+        incarnation moves — a heartbeat sender then reuses one object per
+        boot epoch instead of allocating one per period, which also lets
+        receivers dedupe by identity.
+        """
+        cached = self._self_record_cache
+        if cached is not None and cached.incarnation == self.incarnation:
+            return cached
+        record = NodeRecord(
             node_id=self.node_id,
             incarnation=self.incarnation,
             services={name: spec.partitions for name, spec in self._services.items()},
             attrs={**self.machine.to_attrs(), **self._extra_attrs},
         )
+        if self.use_fast_path:
+            self._self_record_cache = record
+        return record
 
     def register_service(self, spec: ServiceSpec) -> None:
         """Publish a service through the membership protocol (MService API)."""
         self._services[spec.name] = spec
+        self._self_record_cache = None
         if self.running:
             self._self_changed()
 
     def unregister_service(self, name: str) -> None:
         self._services.pop(name, None)
+        self._self_record_cache = None
         if self.running:
             self._self_changed()
 
     def update_value(self, key: str, value: str) -> None:
         """Publish a key-value pair (``MService::update_value``)."""
         self._extra_attrs[key] = value
+        self._self_record_cache = None
         if self.running:
             self._self_changed()
 
     def delete_value(self, key: str) -> None:
         self._extra_attrs.pop(key, None)
+        self._self_record_cache = None
         if self.running:
             self._self_changed()
 
     def _self_changed(self) -> None:
         """Hook: the published self-record changed while running."""
+        self._self_record_cache = None
         self.directory.upsert(self.self_record(), self.network.now)
 
     # ------------------------------------------------------------------
@@ -140,7 +165,7 @@ class MembershipNode(ABC):
     # ------------------------------------------------------------------
     def view(self) -> List[str]:
         """Sorted node ids currently believed alive."""
-        return self.directory.members()
+        return list(self.directory.members())
 
     def knows(self, node_id: str) -> bool:
         return node_id in self.directory

@@ -16,7 +16,7 @@ import itertools
 import math
 from typing import Any, Callable, Optional
 
-__all__ = ["Simulator", "ScheduledEvent", "SimulationError"]
+__all__ = ["Simulator", "ScheduledEvent", "RecurringTimer", "SimulationError"]
 
 
 class SimulationError(RuntimeError):
@@ -70,6 +70,67 @@ class ScheduledEvent:
 
 def _noop(*_args: Any) -> None:
     return None
+
+
+class RecurringTimer:
+    """Handle for a :meth:`Simulator.call_every` periodic callback.
+
+    One timer owns ONE :class:`ScheduledEvent` that is re-keyed and pushed
+    back onto the heap after each firing, so a periodic tick costs zero
+    allocations per period (no new closure, no new handle) — the point of
+    the primitive for heartbeat/status-tracker ticks that previously
+    re-created both every period.
+
+    Ordering contract: the next occurrence's sequence number is allocated
+    *after* the callback body runs, exactly like the legacy idiom of a
+    callback whose last statement is ``sim.call_after(period, itself)``.
+    Same-seed runs are therefore trace-identical whichever form is used.
+    """
+
+    __slots__ = ("_sim", "period", "fn", "args", "cancelled", "_ev")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        period: float,
+        fn: Callable[..., Any],
+        args: tuple,
+        first_at: float,
+        priority: int,
+    ) -> None:
+        self._sim = sim
+        self.period = period
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self._ev = sim.call_at(first_at, self._fire, priority=priority)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fn(*self.args)
+        if self.cancelled:
+            # The callback cancelled its own timer: do not re-arm.
+            return
+        sim = self._sim
+        ev = self._ev
+        ev.time = sim._now + self.period
+        ev.seq = next(sim._seq)
+        ev.sort_key = (ev.time, ev.priority, ev.seq)
+        heapq.heappush(sim._queue, ev)
+
+    def cancel(self) -> None:
+        """Stop firing.  Idempotent; safe from inside the callback."""
+        self.cancelled = True
+        # Break the reference cycle and let the queued entry (if any) be
+        # skipped by the run loop; fn/args are dropped like ScheduledEvent's.
+        self._ev.cancel()
+        self.fn = _noop
+        self.args = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "armed"
+        return f"<RecurringTimer period={self.period:.6f} {state}>"
 
 
 class Simulator:
@@ -152,6 +213,29 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         return self.call_at(self._now + delay, fn, *args, priority=priority)
+
+    def call_every(
+        self,
+        period: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        first_delay: Optional[float] = None,
+        priority: int = 0,
+    ) -> RecurringTimer:
+        """Schedule ``fn(*args)`` every ``period`` seconds of virtual time.
+
+        ``first_delay`` defaults to ``period``; pass a different value to
+        phase-shift the first firing (e.g. a randomised heartbeat phase).
+        Returns a :class:`RecurringTimer` whose ``cancel()`` stops the
+        series.  After each firing the *same* event object is re-keyed and
+        pushed back, so steady-state ticking allocates nothing per period.
+        """
+        if period <= 0:
+            raise SimulationError(f"non-positive period {period!r}")
+        delay = period if first_delay is None else first_delay
+        if delay < 0:
+            raise SimulationError(f"negative first_delay {first_delay!r}")
+        return RecurringTimer(self, period, fn, args, self._now + delay, priority)
 
     def call_at_batch(
         self,

@@ -140,7 +140,7 @@ class TestRemoveAndPurge:
         d.upsert(rec("z"), now=0.0, relayed_by="L2")
         d.upsert(rec("w"), now=0.0)
         assert sorted(d.purge_relayed_by("L1")) == ["x", "y"]
-        assert d.members() == ["w", "z"]
+        assert list(d.members()) == ["w", "z"]
 
     def test_refresh_missing_returns_false(self):
         d = Directory("me")
@@ -212,10 +212,120 @@ class TestSnapshots:
         d = Directory("me")
         for nid in ["c", "a", "b"]:
             d.upsert(rec(nid), now=0.0)
-        assert d.members() == ["a", "b", "c"]
+        assert list(d.members()) == ["a", "b", "c"]
 
     def test_clear(self):
         d = Directory("me")
         d.upsert(rec("a"), now=0.0)
         d.clear()
         assert len(d) == 0
+
+
+class TestDeadlineHeapEngine:
+    """The heap-driven purges must mirror the legacy scans exactly."""
+
+    @staticmethod
+    def _pair():
+        fast, slow = Directory("me"), Directory("me")
+        slow.use_fast_path = False
+        return fast, slow
+
+    def test_fast_and_legacy_purges_agree_under_churn(self):
+        fast, slow = self._pair()
+        # Scripted churn: inserts, refreshes, vouches, reclassification,
+        # removals — the same sequence on both paths.
+        for d in (fast, slow):
+            for i in range(10):
+                d.upsert(rec(f"n{i}"), now=0.0, relayed_by="L" if i % 2 else None)
+            d.refresh("n2", 4.0)
+            d.refresh("n3", 4.0, relayed_by="L")  # reclass direct -> relayed
+            d.refresh("n5", 4.0, relayed_by=None)  # reclass relayed -> direct
+            d.vouch("L", 3.0)
+            d.remove("n9")
+        for now in (6.0, 9.0, 12.0):
+            assert fast.purge_stale(now, 5.0) == slow.purge_stale(now, 5.0)
+            assert fast.purge_stale_relayed(now, 5.0) == slow.purge_stale_relayed(
+                now, 5.0
+            )
+            assert list(fast.members()) == list(slow.members())
+
+    def test_purge_order_matches_insertion_order(self):
+        d = Directory("me")
+        # Freshness deliberately scrambled vs insertion order.
+        d.upsert(rec("c"), now=3.0)
+        d.upsert(rec("a"), now=1.0)
+        d.upsert(rec("b"), now=2.0)
+        assert d.purge_stale(20.0, 5.0) == ["c", "a", "b"]
+
+    def test_refresh_keeps_entry_alive_without_heap_churn(self):
+        d = Directory("me")
+        d.upsert(rec("x"), now=0.0)
+        for t in range(1, 30):
+            d.refresh("x", float(t))
+            assert d.purge_stale(float(t), 5.0) == []
+        # One live heap record per entry: refreshes must not accumulate.
+        assert len(d._direct_heap) <= 2
+
+    def test_vouch_keeps_relayed_entry_alive_then_expires(self):
+        d = Directory("me")
+        d.upsert(rec("x"), now=0.0, relayed_by="L")
+        d.vouch("L", 8.0)
+        assert d.purge_stale_relayed(10.0, 5.0) == []  # vouch covers it
+        assert d.purge_stale_relayed(14.0, 5.0) == ["x"]  # vouch went stale
+
+    def test_enable_fast_path_after_inserts_rebuilds_heaps(self):
+        d = Directory("me")
+        d.use_fast_path = False
+        d.upsert(rec("x"), now=0.0)
+        d.upsert(rec("y"), now=0.0, relayed_by="L")
+        d.use_fast_path = True
+        assert d.purge_stale(10.0, 5.0) == ["x"]
+        assert d.purge_stale_relayed(10.0, 5.0) == ["y"]
+
+
+class TestVersionedViews:
+    def test_version_moves_on_structural_changes_only(self):
+        d = Directory("me")
+        v0 = d.version
+        d.upsert(rec("x"), now=0.0)
+        v1 = d.version
+        assert v1 > v0
+        d.refresh("x", 1.0)
+        d.vouch("L", 1.0)
+        assert d.version == v1  # freshness-only: no bump
+        d.remove("x")
+        assert d.version > v1
+
+    def test_members_cached_until_version_moves(self):
+        d = Directory("me")
+        d.upsert(rec("x"), now=0.0)
+        first = d.members()
+        d.refresh("x", 1.0)
+        assert d.members() is first  # same tuple object: cache hit
+        d.upsert(rec("y"), now=1.0)
+        assert d.members() is not first
+        assert list(d.members()) == ["x", "y"]
+
+    def test_snapshot_returns_fresh_copy(self):
+        d = Directory("me")
+        d.upsert(rec("x"), now=0.0)
+        snap = d.snapshot()
+        snap["poison"] = rec("poison")
+        assert "poison" not in d.snapshot()
+
+    def test_records_reflect_payload_updates(self):
+        d = Directory("me")
+        d.upsert(rec("x"), now=0.0)
+        before = d.records()
+        d.upsert(rec("x", attrs={"k": "v"}), now=1.0)
+        after = d.records()
+        assert before is not after
+        assert [r.attrs for r in after] == [{"k": "v"}]
+
+    def test_purge_invalidates_view_caches(self):
+        d = Directory("me")
+        d.upsert(rec("x"), now=0.0)
+        d.upsert(rec("y"), now=10.0)
+        assert list(d.members()) == ["x", "y"]
+        assert d.purge_stale(14.0, 5.0) == ["x"]  # y refreshed at 10.0
+        assert list(d.members()) == ["y"]

@@ -67,7 +67,7 @@ class TestDirectoryProperties:
         d = Directory("o")
         for r in recs:
             d.upsert(r, now)
-        members = d.members()
+        members = list(d.members())
         assert members == sorted(members)
         assert len(members) == len(d)
         for nid in members:

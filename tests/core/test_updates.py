@@ -172,3 +172,90 @@ class TestBehind:
         um.reset()
         assert um.current_seq(0) == 0
         assert um.behind("x", 0, 1)
+
+
+class TestReorderingEdges:
+    """Edge cases around duplicate-behind packets and the recovery window."""
+
+    def test_duplicate_behind_with_unseen_uid_applies_and_relays(self):
+        # With no piggyback a gap cannot recover the lost update, so when
+        # the reordered packet finally lands behind the stream position its
+        # uid is genuinely new: it must still apply and relay.
+        alice = UpdateManager("a", piggyback_depth=0)
+        bob = UpdateManager("b", piggyback_depth=0)
+        m1 = alice.build(0, [add_op("x")])
+        m2 = alice.build(0, [add_op("y")])
+        first = bob.receive(m2)  # m1 still in flight
+        assert first.need_sync  # hole, nothing to recover from
+        late = bob.receive(m1)  # duplicate-behind, uid unseen
+        assert [ops[0].node_id for _uid, ops in late.apply] == ["x"]
+        assert late.relay
+        assert not late.need_sync
+
+    def test_duplicate_behind_with_seen_uid_is_silent(self):
+        alice, bob = UpdateManager("a"), UpdateManager("b")
+        m1 = alice.build(0, [add_op("x")])
+        m2 = alice.build(0, [add_op("y")])
+        bob.receive(m2)  # piggyback recovers m1's ops, marking its uid seen
+        late = bob.receive(m1)
+        assert late.apply == [] and not late.relay and not late.need_sync
+
+    def test_gap_exactly_piggyback_depth_fully_recovers(self):
+        depth = 3
+        alice = UpdateManager("a", piggyback_depth=depth)
+        bob = UpdateManager("b", piggyback_depth=depth)
+        msgs = [alice.build(0, [add_op(f"n{i}")]) for i in range(depth + 2)]
+        bob.receive(msgs[0])
+        out = bob.receive(msgs[depth + 1])  # exactly `depth` seqs lost
+        assert not out.need_sync
+        applied = [ops[0].node_id for _uid, ops in out.apply]
+        assert applied == [f"n{i}" for i in range(1, depth + 2)]
+
+    def test_gap_one_past_piggyback_depth_needs_sync(self):
+        depth = 3
+        alice = UpdateManager("a", piggyback_depth=depth)
+        bob = UpdateManager("b", piggyback_depth=depth)
+        msgs = [alice.build(0, [add_op(f"n{i}")]) for i in range(depth + 3)]
+        bob.receive(msgs[0])
+        out = bob.receive(msgs[depth + 2])  # depth+1 seqs lost: one too many
+        assert out.need_sync
+        # The piggyback tail still recovers what it carried.
+        applied = {ops[0].node_id for _uid, ops in out.apply}
+        assert applied == {f"n{i}" for i in range(2, depth + 3)}
+
+
+class TestSeenUidWindow:
+    """The uid-dedup memory is a bounded insertion-ordered window."""
+
+    def test_window_bounds_memory_under_sustained_churn(self):
+        bob = UpdateManager("b", seen_uid_window=8)
+        senders = [UpdateManager(f"s{i}") for i in range(4)]
+        for round_no in range(200):
+            for s in senders:
+                bob.receive(s.build(0, [add_op(f"n{round_no}")]))
+        assert len(bob._seen_uids) <= 8
+
+    def test_oldest_uids_evicted_first(self):
+        um = UpdateManager("me", seen_uid_window=3)
+        for uid in (1, 2, 3, 4, 5):
+            um.mark_seen(uid)
+        assert list(um._seen_uids) == [3, 4, 5]
+
+    def test_mark_seen_idempotent_no_reorder(self):
+        um = UpdateManager("me", seen_uid_window=3)
+        for uid in (1, 2, 3):
+            um.mark_seen(uid)
+        um.mark_seen(1)  # already present: must not refresh or evict
+        assert list(um._seen_uids) == [1, 2, 3]
+
+    def test_evicted_uid_straggler_reapplies_harmlessly(self):
+        # An evicted uid that straggles back is re-applied; the update ops
+        # are idempotent per the paper, so dedup loss only costs work.
+        alice = UpdateManager("a", piggyback_depth=0)
+        bob = UpdateManager("b", piggyback_depth=0, seen_uid_window=2)
+        m1 = alice.build(0, [add_op("x")])
+        for i in range(4):  # push m1's uid out of the window
+            bob.receive(alice.build(0, [add_op(f"f{i}")]))
+        out = bob.receive(m1)  # behind the stream AND evicted from dedup
+        assert [ops[0].node_id for _uid, ops in out.apply] == ["x"]
+        assert out.relay

@@ -1,21 +1,35 @@
-"""Determinism guard for the fast-path delivery engine.
+"""Determinism guards for the fast-path engines.
 
-The perf engine (cached delivery plans, batched per-delay-bucket events,
-route caches) must be a pure optimization: for the same seed, a run
-produces the **identical** trace event sequence as the legacy per-receiver
-path, and repeated runs are bit-for-bit reproducible.  This is the
-contract documented in docs/PERFORMANCE.md; if an optimization ever
-changes scheduling order, loss-draw order, or delivery validation, this
-test is the tripwire.
+Both engines must be pure optimizations: for the same seed a run produces
+the **identical** trace event sequence with the optimization on or off,
+and repeated runs are bit-for-bit reproducible.
+
+* **Delivery engine** (PR: perf engine) — cached multicast delivery plans,
+  batched per-delay-bucket events, route caches
+  (``MulticastFabric.use_fast_path``).
+* **Protocol engine** (PR: protocol hot path) — interned heartbeats with
+  the identity-based no-change receive path, deadline-heap directory
+  purges, recurring timers (``HierarchicalNode(use_fast_path=...)``).
+
+This is the contract documented in docs/PERFORMANCE.md; if an
+optimization ever changes scheduling order, loss-draw order, purge order,
+or election timing, these tests are the tripwire.
 """
 
 from repro.metrics.experiment import make_scheme_cluster
 
 
-def run_30_node_trace(fast_path: bool, seed: int = 7):
+def run_30_node_trace(
+    fast_path: bool, seed: int = 7, protocol_fast_path: bool = True
+):
     """3 networks x 10 hosts, hierarchical scheme, crash + observe."""
     net, hosts, nodes = make_scheme_cluster(
-        "hierarchical", 3, 10, seed=seed, loss_rate=0.02
+        "hierarchical",
+        3,
+        10,
+        seed=seed,
+        loss_rate=0.02,
+        use_fast_path=protocol_fast_path,
     )
     net.multicast_fabric.use_fast_path = fast_path
     net.run(until=20.0)
@@ -31,6 +45,23 @@ def test_fast_path_trace_identical_to_legacy_path():
     slow = run_30_node_trace(fast_path=False)
     assert len(fast) > 100  # the run actually did protocol work
     assert fast == slow
+
+
+def test_protocol_fast_path_trace_identical_to_legacy_path():
+    # Delivery engine fixed, protocol engine A/B: interned heartbeats,
+    # the no-change receive path, heap purges and recurring timers must
+    # not move a single trace event.
+    fast = run_30_node_trace(fast_path=True, protocol_fast_path=True)
+    slow = run_30_node_trace(fast_path=True, protocol_fast_path=False)
+    assert len(fast) > 100
+    assert fast == slow
+
+
+def test_both_engines_off_trace_identical_to_both_on():
+    # The two flags compose: all-legacy and all-fast bracket the matrix.
+    all_fast = run_30_node_trace(fast_path=True, protocol_fast_path=True)
+    all_slow = run_30_node_trace(fast_path=False, protocol_fast_path=False)
+    assert all_fast == all_slow
 
 
 def test_same_seed_reproduces_identical_trace():
