@@ -1,0 +1,161 @@
+"""Multi-seed chaos sweep: invariants + Fig. 13/14 recovery under faults.
+
+Runs the canonical seeded chaos scenario (``repro.chaos.ChaosScenario``:
+asymmetric partition + 20% directional loss with jitter/reordering/
+duplication + a mid-chaos crash and post-chaos recovery) across a batch
+of seeds and records, per seed,
+
+* whether the invariant checker stayed green (no dual leaders, no
+  resurrections, bounded false failures, eventual directory agreement),
+* detection / convergence times for the mid-chaos crash,
+* the Fig. 13-style failure-propagation curve and Fig. 14-style
+  rejoin curve, both under chaos,
+* fault-plan counters (drops, duplicates, delays) proving the chaos
+  actually fired.
+
+``--check`` is the CI gate: every seed must run green and detect the
+crash within the MAX_LOSS bound (plus chaos slack); the gate is
+count-based, not wall-clock-based, so it is machine-independent.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_chaos.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_chaos.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.chaos import ChaosScenario  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_chaos.json"
+
+FULL_SEEDS = [7, 11, 23, 42, 99]
+QUICK_SEEDS = [7, 42]
+
+#: detection must land within MAX_LOSS periods (5 x 1 Hz) plus slack for
+#: chaos-path delays — same bound the acceptance test uses.
+DETECTION_BOUND_S = 10.0
+
+
+def run_seed(seed: int) -> dict:
+    res = ChaosScenario(seed=seed).run()
+    survivors = res.down_curve[-1][1] if res.down_curve else 0
+    return {
+        "seed": seed,
+        "ok": res.ok,
+        "violations": [
+            {"time": v.time, "invariant": v.invariant, "detail": v.detail}
+            for v in res.violations
+        ],
+        "false_failures": res.false_failures,
+        "victim": res.victim,
+        "detection_s": res.detection,
+        "convergence_s": res.convergence,
+        "observers_converged": survivors,
+        "recovery_curve": res.down_curve,
+        "rejoin_curve": res.up_curve,
+        "fault_stats": res.fault_stats,
+        "trace_events": len(res.trace_signature),
+    }
+
+
+def sweep(seeds: list[int]) -> dict:
+    runs = [run_seed(s) for s in seeds]
+    detections = [r["detection_s"] for r in runs if r["detection_s"] is not None]
+    convergences = [r["convergence_s"] for r in runs if r["convergence_s"] is not None]
+    return {
+        "seeds": seeds,
+        "runs": runs,
+        "summary": {
+            "all_ok": all(r["ok"] for r in runs),
+            "total_false_failures": sum(r["false_failures"] for r in runs),
+            "detection_s": {
+                "min": min(detections) if detections else None,
+                "max": max(detections) if detections else None,
+                "mean": round(sum(detections) / len(detections), 3)
+                if detections
+                else None,
+            },
+            "convergence_s": {
+                "min": min(convergences) if convergences else None,
+                "max": max(convergences) if convergences else None,
+                "mean": round(sum(convergences) / len(convergences), 3)
+                if convergences
+                else None,
+            },
+            "total_drops": sum(r["fault_stats"].get("drops", 0) for r in runs),
+            "total_duplicates": sum(
+                r["fault_stats"].get("duplicates", 0) for r in runs
+            ),
+        },
+    }
+
+
+def run_check(report: dict) -> int:
+    """CI gate: every seed green, crash detected within the bound."""
+    failures = []
+    for r in report["runs"]:
+        if not r["ok"]:
+            failures.append(f"seed {r['seed']}: violations {r['violations']}")
+        if r["detection_s"] is None:
+            failures.append(f"seed {r['seed']}: crash never detected")
+        elif r["detection_s"] > DETECTION_BOUND_S:
+            failures.append(
+                f"seed {r['seed']}: detection {r['detection_s']:.2f}s "
+                f"> bound {DETECTION_BOUND_S}s"
+            )
+        if r["fault_stats"].get("drops", 0) == 0:
+            failures.append(f"seed {r['seed']}: chaos never fired (0 drops)")
+    for line in failures:
+        print(f"check: FAIL {line}", file=sys.stderr)
+    verdict = "REGRESSION" if failures else "OK"
+    print(
+        f"check: {len(report['runs'])} seeds, "
+        f"{sum(r['ok'] for r in report['runs'])} green -> {verdict}"
+    )
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer seeds for CI smoke runs"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="nonzero exit unless every seed runs green under the invariants",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    seeds = QUICK_SEEDS if args.quick else FULL_SEEDS
+    report = {"quick": args.quick, **sweep(seeds)}
+
+    if args.check:
+        print(json.dumps(report["summary"], indent=2))
+        return run_check(report)
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report["summary"], indent=2))
+    for r in report["runs"]:
+        print(
+            f"seed {r['seed']}: ok={r['ok']} detection={r['detection_s']}s "
+            f"convergence={r['convergence_s']}s drops={r['fault_stats'].get('drops')}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

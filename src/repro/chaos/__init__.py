@@ -1,0 +1,25 @@
+"""Chaos testing: fault-plan scenarios checked against protocol invariants.
+
+The paper argues safety informally ("a node deletion is always correct",
+Section 5); this package makes those claims executable.  An
+:class:`InvariantChecker` rides along any simulated cluster and watches
+for the things the protocol promises never happen:
+
+* two *mutually-visible* leaders at the same level, persisting beyond the
+  election's own resolution window;
+* resurrection of a buried ``(node_id, incarnation)`` — a directory entry
+  for a life that provably ended;
+* unbounded false failures — live, reachable nodes declared dead;
+* directory disagreement after the network has been quiet long enough.
+
+:class:`ChaosScenario` is the canonical stress: a seeded run combining an
+asymmetric partition, directional loss with reordering/duplication (via
+:class:`~repro.net.faults.FaultPlan`), and a crash/recover of a victim
+node — reproducing the paper's Fig. 13/14 recovery curves under chaos.
+See docs/FAULTS.md.
+"""
+
+from repro.chaos.invariants import InvariantChecker, Violation
+from repro.chaos.runner import ChaosResult, ChaosScenario
+
+__all__ = ["InvariantChecker", "Violation", "ChaosScenario", "ChaosResult"]

@@ -283,14 +283,21 @@ class Directory:
         self._version += 1
         return True  # heap records orphaned; discarded lazily on surfacing
 
-    def purge_stale(self, now: float, timeout: float) -> List[str]:
+    def purge_stale(
+        self,
+        now: float,
+        timeout: float,
+        incarnations: Optional[Dict[str, int]] = None,
+    ) -> List[str]:
         """Remove directly-heard entries not refreshed within ``timeout``.
 
         Returns the purged node ids.  Entries for the owner itself never
-        expire (a node always knows it is alive).
+        expire (a node always knows it is alive).  When ``incarnations``
+        is given it is filled with the purged entries' incarnations, so
+        callers can build guarded remove-updates after the fact.
         """
         if self._use_fast_path:
-            return self._pop_stale_direct(now, timeout)
+            return self._pop_stale_direct(now, timeout, incarnations)
         dead = [
             nid
             for nid, e in self._entries.items()
@@ -299,12 +306,19 @@ class Directory:
             and now - e.last_refresh > timeout
         ]
         for nid in dead:
+            if incarnations is not None:
+                incarnations[nid] = self._entries[nid].record.incarnation
             del self._entries[nid]
         if dead:
             self._version += 1
         return dead
 
-    def _pop_stale_direct(self, now: float, timeout: float) -> List[str]:
+    def _pop_stale_direct(
+        self,
+        now: float,
+        timeout: float,
+        incarnations: Optional[Dict[str, int]] = None,
+    ) -> List[str]:
         """Heap-pop equivalent of the direct-entry staleness scan.
 
         Each live entry has exactly one heap record whose key is a *lower
@@ -334,6 +348,8 @@ class Directory:
                 heapq.heappush(heap, (fresh, entry.stamp, nid))
                 continue
             heapq.heappop(heap)
+            if incarnations is not None:
+                incarnations[nid] = entry.record.incarnation
             del entries[nid]
             dead.append((entry.order, nid))
         if dead:
@@ -355,14 +371,21 @@ class Directory:
             self._version += 1
         return dead
 
-    def purge_stale_relayed(self, now: float, timeout: float) -> List[str]:
+    def purge_stale_relayed(
+        self,
+        now: float,
+        timeout: float,
+        incarnations: Optional[Dict[str, int]] = None,
+    ) -> List[str]:
         """Remove relayed entries not refreshed or re-vouched in ``timeout``.
 
         An entry counts as fresh if either it was refreshed directly or its
-        relayer vouched (see :meth:`vouch`) within the window.
+        relayer vouched (see :meth:`vouch`) within the window.  When
+        ``incarnations`` is given it is filled with the purged entries'
+        incarnations for after-the-fact remove-update guards.
         """
         if self._use_fast_path:
-            return self._pop_stale_relayed(now, timeout)
+            return self._pop_stale_relayed(now, timeout, incarnations)
         dead = []
         for nid, e in self._entries.items():
             if nid == self.owner or e.relayed_by is None:
@@ -371,12 +394,19 @@ class Directory:
             if now - effective > timeout:
                 dead.append(nid)
         for nid in dead:
+            if incarnations is not None:
+                incarnations[nid] = self._entries[nid].record.incarnation
             del self._entries[nid]
         if dead:
             self._version += 1
         return dead
 
-    def _pop_stale_relayed(self, now: float, timeout: float) -> List[str]:
+    def _pop_stale_relayed(
+        self,
+        now: float,
+        timeout: float,
+        incarnations: Optional[Dict[str, int]] = None,
+    ) -> List[str]:
         """Heap-pop equivalent of the relayed-entry staleness scan.
 
         A relayed entry's effective freshness is ``max(last_refresh,
@@ -411,6 +441,8 @@ class Directory:
                 heapq.heappush(heap, (effective, entry.stamp, nid))
                 continue
             heapq.heappop(heap)
+            if incarnations is not None:
+                incarnations[nid] = entry.record.incarnation
             del entries[nid]
             dead.append((entry.order, nid))
         if dead:

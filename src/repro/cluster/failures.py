@@ -11,13 +11,28 @@ membership protocol nodes, provider modules, proxies).  Crashing a host
 stops its stacks and downs the device; recovery brings the device up and
 restarts the stacks, which then re-join the protocol from scratch (the
 bootstrap path).
+
+Beyond the paper's clean crashes, the schedule also scripts the chaos
+scenarios the robustness tooling targets (docs/FAULTS.md):
+
+* :meth:`FailureSchedule.flap_device` — a flapping switch/router that
+  partitions and heals its subtree on a cycle;
+* :meth:`FailureSchedule.partition_at` — symmetric *or asymmetric*
+  partitions realised as total directional loss on the network's
+  :class:`~repro.net.faults.FaultPlan` (a downed device can only model the
+  symmetric case);
+* :meth:`FailureSchedule.schedule_chaos_storm` — a seeded randomized
+  crash/recover storm, drawn entirely at scheduling time so runtime RNG
+  streams are untouched.
 """
 
 from __future__ import annotations
 
+import random
 from collections import defaultdict
-from typing import Any, Dict, List, Protocol
+from typing import Any, Dict, Iterable, List, Optional, Protocol, Tuple
 
+from repro.net.faults import LinkFault
 from repro.net.network import Network
 
 __all__ = ["FailureSchedule"]
@@ -66,6 +81,113 @@ class FailureSchedule:
         self.network.sim.call_at(time, self._start_one, host, stack)
 
     # ------------------------------------------------------------------
+    # Chaos scheduling
+    # ------------------------------------------------------------------
+    def flap_device(
+        self,
+        device: str,
+        first_down: float,
+        down_for: float,
+        up_for: float,
+        until: float,
+    ) -> int:
+        """A flapping link: down/up cycles for ``device`` until ``until``.
+
+        Each cycle downs the device at its start and recovers it
+        ``down_for`` later; cycles repeat every ``down_for + up_for``
+        seconds.  Returns the number of cycles scheduled.  A flapping
+        switch is the classic convergence stress: the subtree behind it
+        is repeatedly purged mid-recovery.
+        """
+        if down_for <= 0 or up_for <= 0:
+            raise ValueError("down_for and up_for must both be positive")
+        cycles = 0
+        t = first_down
+        while t < until:
+            self.fail_device_at(t, device)
+            self.recover_device_at(t + down_for, device)
+            cycles += 1
+            t += down_for + up_for
+        return cycles
+
+    def partition_at(
+        self,
+        time: float,
+        side_a: Iterable[str],
+        side_b: Iterable[str],
+        heal_at: Optional[float] = None,
+        symmetric: bool = True,
+    ) -> List[LinkFault]:
+        """Partition two host sets at ``time`` via total directional loss.
+
+        Implemented as time-windowed :class:`~repro.net.faults.LinkFault`
+        rules on the network's fault plan (created on demand), so
+        ``symmetric=False`` gives the *asymmetric* case a downed device
+        cannot express: ``side_a``'s packets toward ``side_b`` vanish
+        while the reverse direction keeps flowing.  Heals at ``heal_at``
+        (never, if ``None``).  Returns the installed rules.
+        """
+        side_a = sorted(side_a)
+        side_b = sorted(side_b)
+        plan = self.network.ensure_fault_plan()
+        until = float("inf") if heal_at is None else heal_at
+        rules = plan.partition(
+            side_a, side_b, start=time, until=until, symmetric=symmetric
+        )
+        arrow = "<->" if symmetric else "->"
+        desc = f"{'|'.join(side_a)}{arrow}{'|'.join(side_b)}"
+        self.network.sim.call_at(time, self._note, "partition", desc)
+        if heal_at is not None:
+            self.network.sim.call_at(heal_at, self._note, "partition_heal", desc)
+        return rules
+
+    def schedule_chaos_storm(
+        self,
+        rng: random.Random,
+        hosts: List[str],
+        start: float,
+        duration: float,
+        events: int = 8,
+        min_downtime: float = 5.0,
+        max_downtime: float = 15.0,
+        min_gap: float = 1.0,
+    ) -> List[Tuple[float, str, float]]:
+        """Schedule a seeded randomized crash/recover storm.
+
+        Draws ``events`` (crash time, host, downtime) triples from ``rng``
+        — uniformly over ``[start, start + duration)`` hosts and
+        ``[min_downtime, max_downtime)`` downtimes — rejecting draws that
+        would overlap (or come within ``min_gap`` of) an existing outage
+        of the same host, so every crash hits a *running* stack and every
+        recovery restarts a *stopped* one.  All randomness is consumed
+        here, at scheduling time: the storm never perturbs the
+        simulation's runtime RNG streams, and the same ``rng`` seed
+        always yields the same storm.  Returns the storm, time-sorted.
+        """
+        if not hosts:
+            raise ValueError("chaos storm needs at least one host")
+        if max_downtime < min_downtime:
+            raise ValueError("max_downtime < min_downtime")
+        busy: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+        storm: List[Tuple[float, str, float]] = []
+        attempts = 0
+        while len(storm) < events and attempts < events * 50:
+            attempts += 1
+            t = start + rng.random() * duration
+            host = hosts[rng.randrange(len(hosts))]
+            down = min_downtime + rng.random() * (max_downtime - min_downtime)
+            lo, hi = t - min_gap, t + down + min_gap
+            if any(b_lo < hi and lo < b_hi for b_lo, b_hi in busy[host]):
+                continue
+            busy[host].append((lo, hi))
+            storm.append((t, host, down))
+        storm.sort()
+        for t, host, down in storm:
+            self.crash_node_at(t, host)
+            self.recover_node_at(t + down, host)
+        return storm
+
+    # ------------------------------------------------------------------
     # Actions
     # ------------------------------------------------------------------
     def _crash(self, host: str) -> None:
@@ -87,6 +209,11 @@ class FailureSchedule:
     def _recover_device(self, device: str) -> None:
         self.network.recover_device(device)
         self.log.append((self.network.now, "device_recover", device))
+
+    def _note(self, kind: str, desc: str) -> None:
+        """Log marker for actions realised elsewhere (fault-plan rules)."""
+        self.log.append((self.network.now, kind, desc))
+        self.network.trace.emit(self.network.now, kind, scope=desc)
 
     def _stop_one(self, host: str, stack: Any) -> None:
         stack.stop()

@@ -99,6 +99,8 @@ class HierarchicalNode(MembershipNode):
         self._last_full_announce = float("-inf")
         self._hb_timer = None
         self._check_timer = None
+        # Live one-shot timers created via _call_once, cancelled on stop().
+        self._oneshots: set = set()
 
     # ==================================================================
     # Lifecycle
@@ -153,7 +155,31 @@ class HierarchicalNode(MembershipNode):
             self._hb_timer.cancel()
         if self._check_timer is not None:
             self._check_timer.cancel()
+        for event in self._oneshots:
+            event.cancel()
+        self._oneshots.clear()
         self.directory.clear()
+
+    def _call_once(self, delay: float, fn, *args) -> None:
+        """Schedule a one-shot callback bound to *this run* of the node.
+
+        The simulator outlives node lifecycles, so a bare ``call_after``
+        from protocol code survives ``stop()`` and fires into the node's
+        next life — ``self.running`` is True again after a restart, and
+        the callback acts on state from a previous incarnation.  Timers
+        scheduled here are cancelled by :meth:`stop` and, as a belt-and-
+        braces guard, checked against the scheduling incarnation.
+        """
+        inc = self.incarnation
+        event = None
+
+        def fire() -> None:
+            self._oneshots.discard(event)
+            if self.running and self.incarnation == inc:
+                fn(*args)
+
+        event = self.network.sim.call_after(delay, fire)
+        self._oneshots.add(event)
 
     def leave(self) -> None:
         """Graceful departure: announce, then stop.
@@ -583,7 +609,7 @@ class HierarchicalNode(MembershipNode):
             # quarantine ends (by then the cluster has converged on either
             # the removal or the higher incarnation).
             remaining = self.config.tombstone_quarantine - (now - when)
-            self.network.sim.call_after(
+            self._call_once(
                 max(remaining, 0.0) + self.config.heartbeat_period,
                 self._maybe_sync,
                 via,
@@ -648,23 +674,52 @@ class HierarchicalNode(MembershipNode):
         # Backstop: relayed entries nobody has vouched for in a long time.
         # On the fast path these purges are deadline-heap pops (amortised
         # O(1) in a quiet period) instead of full directory scans.
-        for nid in self.directory.purge_stale_relayed(now, self.config.relayed_timeout):
+        incs: Dict[str, int] = {}
+        purged: List[UpdateOp] = []
+        for nid in self.directory.purge_stale_relayed(
+            now, self.config.relayed_timeout, incarnations=incs
+        ):
+            purged.append(UpdateOp("remove", nid, incs.get(nid, 0)))
+            self._bury(nid, incs.get(nid, 0))
             self._emit_member_down(nid, reason="relayed_timeout")
         # Safety net for orphaned direct entries (no live channel refreshes
         # them); generous so it never races real per-level detection.
         safety = self.config.level_timeout(self.config.max_level) + self.config.fail_timeout
-        for nid in self.directory.purge_stale(now, safety):
+        for nid in self.directory.purge_stale(now, safety, incarnations=incs):
+            purged.append(UpdateOp("remove", nid, incs.get(nid, 0)))
+            self._bury(nid, incs.get(nid, 0))
             self._emit_member_down(nid, reason="orphan_timeout")
+        if purged and self._is_relay_point():
+            # A relay point's heartbeats implicitly vouch for everything it
+            # ever attributed to itself in its members' directories — so a
+            # silent backstop purge here would leave the subtree holding
+            # the dropped entries *forever* (vouching keeps them fresh and
+            # no remove rumor ever arrives).  Originate the removals just
+            # like the peer-death cascade does.
+            self._originate(purged)
         if not self.use_fast_path:
             self._check_timer = self.network.sim.call_after(
                 self.config.heartbeat_period, self._check_tick
             )
 
+    def _freshly_heard(self, node_id: str, now: float) -> bool:
+        """Still a direct peer on some channel, heard within ``fail_timeout``.
+
+        Distinguishes *abdication* from *death* when a peer goes silent on
+        one channel: a leader that steps down abandons its upper channels
+        but keeps heartbeating below, so its entry there is fresh; a dead
+        node is stale on every channel it was heard on (the lower levels
+        purge first, leaving only entries at least ``fail_timeout`` old).
+        """
+        for lv in self._levels:
+            entry = self._groups[lv].peers.get(node_id)
+            if entry is not None and now - entry.last_heard <= self.config.fail_timeout:
+                return True
+        return False
+
     def _handle_peer_death(self, level: int, peer: PeerState) -> None:
         group = self._groups[level]
         now = self.network.now
-        self._updates.forget_sender(peer.node_id)
-        self._pending_syncs.discard(peer.node_id)
 
         if peer.is_leader:
             group.last_dead_leader = peer.node_id
@@ -679,6 +734,19 @@ class HierarchicalNode(MembershipNode):
                 self.directory.reattribute(peer.node_id, peer.backup)
                 group.last_dead_leader = None
 
+        if self._freshly_heard(peer.node_id, now):
+            # Silent on *this* channel but alive on another: a leader
+            # stepping down leaves the upper channels, it did not die.
+            # The group-local failover bookkeeping above still applies
+            # (this group genuinely lost its flag-flier); the directory
+            # entry and everything it vouches for stay — removing them
+            # here declared live nodes dead cluster-wide after every
+            # step-down that outlived a higher-level timeout.
+            if peer.node_id == group.my_backup:
+                group.my_backup = self._pick_backup(group)
+            return
+        self._updates.forget_sender(peer.node_id)
+        self._pending_syncs.discard(peer.node_id)
         # What did the dead peer vouch for?  (Must be computed before the
         # purge below.)  Reported upward/downward by relay-point nodes so
         # whole-subtree failures (switch partitions) propagate quickly.

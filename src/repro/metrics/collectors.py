@@ -21,6 +21,7 @@ __all__ = [
     "bandwidth_stats",
     "BandwidthStats",
     "accuracy_timeseries",
+    "view_change_curve",
 ]
 
 
@@ -65,6 +66,32 @@ def convergence_time(
         if not set(expected_observers) <= observed:
             return None
     return max(r.time for r in records) - kill_time
+
+
+def view_change_curve(
+    trace: Trace,
+    target: str,
+    observers: Iterable[str],
+    since: float,
+    kind: str = "member_down",
+) -> List[Tuple[float, int]]:
+    """Cumulative count of observers that recorded ``kind`` for ``target``.
+
+    The Fig. 13/14 recovery curves: x = seconds after the event at
+    ``since``, y = how many of ``observers`` have logged the view change
+    by then.  Each observer counts once, at its earliest record.
+    """
+    watch = set(observers)
+    firsts: Dict[str, float] = {}
+    for rec in trace.records(kind=kind, since=since):
+        if rec.data.get("target") != target or rec.node not in watch:
+            continue
+        if rec.node not in firsts or rec.time < firsts[rec.node]:
+            firsts[rec.node] = rec.time
+    curve: List[Tuple[float, int]] = []
+    for i, t in enumerate(sorted(firsts.values()), start=1):
+        curve.append((t - since, i))
+    return curve
 
 
 @dataclass(frozen=True)

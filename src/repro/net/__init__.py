@@ -13,6 +13,9 @@ protocol depends on:
 * :mod:`repro.net.transport` — unicast UDP with latency and loss, plus an
   address table supporting the proxy protocol's **IP failover** (a virtual
   address re-bound to the new proxy leader).
+* :mod:`repro.net.faults` — chaos fault plans: per-link directional loss,
+  delay jitter, duplication and bounded reordering consulted by both
+  fabrics (see docs/FAULTS.md).
 * :mod:`repro.net.bandwidth` — per-host byte/packet accounting used to
   reproduce the Fig. 2 and Fig. 11 bandwidth measurements.
 * :mod:`repro.net.builders` — canonical topologies: the paper's testbed
@@ -26,6 +29,7 @@ facade protocol nodes talk to.
 from repro.net.topology import Topology, NodeKind, UNREACHABLE
 from repro.net.packet import Packet
 from repro.net.bandwidth import BandwidthMeter
+from repro.net.faults import FaultPlan, LinkFault
 from repro.net.network import Network
 from repro.net.builders import (
     build_switched_cluster,
@@ -40,6 +44,8 @@ __all__ = [
     "UNREACHABLE",
     "Packet",
     "BandwidthMeter",
+    "FaultPlan",
+    "LinkFault",
     "Network",
     "build_switched_cluster",
     "build_router_tree",

@@ -29,6 +29,13 @@ Determinism contract: recipients appear in the plan in subscription
 loss draws are taken in that order at send time, so seeded runs produce
 byte-identical traces on either path (``use_fast_path`` toggles; see
 docs/PERFORMANCE.md).
+
+Chaos faults
+------------
+An installed :class:`~repro.net.faults.FaultPlan` (``fault_plan``) is
+consulted per (packet, receiver) after the base loss draw, again in
+receiver-iteration order on both paths, and may drop, delay, duplicate
+or reorder the delivery (see docs/FAULTS.md).
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.bandwidth import BandwidthMeter
+from repro.net.faults import FaultPlan
 from repro.net.packet import Packet
 from repro.net.topology import Topology
 from repro.sim.engine import Simulator
@@ -59,10 +67,14 @@ class MulticastFabric:
     sim, topo, meter:
         Simulation kernel, device graph, and bandwidth accounting.
     loss_rate:
-        Per-receiver independent drop probability.
+        Per-receiver independent drop probability.  ``1.0`` (total loss)
+        is legal — experiments blacking out the whole fabric are a
+        legitimate fault scenario.
     loss_rng:
-        Seeded stream used for drops (``None`` disables loss even if
-        ``loss_rate > 0``, which keeps fully deterministic tests simple).
+        Seeded stream used for drops.  Required whenever
+        ``loss_rate > 0``: a lossy configuration without a stream used to
+        silently run lossless, which turned intended loss experiments
+        into clean runs — it now raises instead.
     proc_delay:
         Fixed receive-path processing delay added to topology latency.
 
@@ -84,8 +96,13 @@ class MulticastFabric:
         loss_rng: Optional[random.Random] = None,
         proc_delay: float = 0.0,
     ) -> None:
-        if not 0.0 <= loss_rate < 1.0:
-            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+        if loss_rate > 0.0 and loss_rng is None:
+            raise ValueError(
+                "loss_rate > 0 requires a seeded loss_rng; a missing stream "
+                "used to silently disable the loss process"
+            )
         self.sim = sim
         self.topo = topo
         self.meter = meter
@@ -93,6 +110,8 @@ class MulticastFabric:
         self.loss_rng = loss_rng
         self.proc_delay = proc_delay
         self.use_fast_path = True
+        #: Optional chaos fault plan (installed via Network.set_fault_plan).
+        self.fault_plan: Optional[FaultPlan] = None
         # channel -> host -> handler
         self._subs: Dict[str, Dict[str, Handler]] = defaultdict(dict)
         # channel -> version, bumped on any subscription change to that channel
@@ -183,6 +202,9 @@ class MulticastFabric:
         recipients = self._plan(packet.channel, packet.src, packet.ttl)
         if not recipients:
             return 0
+        fault = self.fault_plan
+        if fault is not None and fault.rules:
+            return self._send_fast_chaos(packet, recipients, fault)
         # Group survivors by identical delay; loss is drawn in plan
         # (= sender-iteration) order so the RNG stream matches the legacy
         # path draw for draw.
@@ -210,6 +232,39 @@ class MulticastFabric:
             self.sim.call_at_batch(now + delay, self._deliver_batch, bucket, packet)
         return len(recipients)
 
+    def _send_fast_chaos(
+        self,
+        packet: Packet,
+        recipients: Tuple[Tuple[str, Handler, float], ...],
+        fault: FaultPlan,
+    ) -> int:
+        """Fast path under an active fault plan.
+
+        Same bucketed scheduling as the plain fast path, but each
+        receiver's total delay folds in the plan's verdict (drop / extra
+        delay / duplicate copies).  Base loss and fault draws both happen
+        in plan (= sender-iteration) order, so the chaos stream is
+        consumed draw-for-draw like the legacy path.
+        """
+        now = self.sim.now
+        src = packet.src
+        lossy = self.loss_rng is not None and self.loss_rate > 0.0
+        rand = self.loss_rng.random if lossy else None
+        rate = self.loss_rate
+        buckets: Dict[float, List[Tuple[str, Handler]]] = {}
+        for host, handler, delay in recipients:
+            if lossy and rand() < rate:
+                continue
+            offsets = fault.offsets(src, host, now)
+            if offsets is None:
+                buckets.setdefault(delay, []).append((host, handler))
+                continue
+            for off in offsets:
+                buckets.setdefault(delay + off, []).append((host, handler))
+        for delay, bucket in buckets.items():
+            self.sim.call_at_batch(now + delay, self._deliver_batch, bucket, packet)
+        return len(recipients)
+
     def _send_slow(self, packet: Packet) -> int:
         """Legacy per-receiver path (baseline mode for benchmarks)."""
         if not self.topo.is_up(packet.src):
@@ -218,6 +273,10 @@ class MulticastFabric:
         subs = self._subs.get(packet.channel)
         if not subs:
             return 0
+        fault = self.fault_plan
+        if fault is not None and not fault.rules:
+            fault = None
+        now = self.sim.now
         delivered = 0
         for host, handler in list(subs.items()):
             if host == packet.src:
@@ -230,6 +289,12 @@ class MulticastFabric:
                 if self.loss_rng.random() < self.loss_rate:
                     continue
             delay = self.topo.latency(packet.src, host) + self.proc_delay
+            if fault is not None:
+                offsets = fault.offsets(packet.src, host, now)
+                if offsets is not None:
+                    for off in offsets:
+                        self.sim.call_after(delay + off, self._deliver, packet, host, handler)
+                    continue
             self.sim.call_after(delay, self._deliver, packet, host, handler)
         return delivered
 

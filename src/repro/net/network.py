@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.net.bandwidth import BandwidthMeter
+from repro.net.faults import FaultPlan
 from repro.net.multicast import MulticastFabric
 from repro.net.packet import Packet
 from repro.net.topology import Topology
@@ -42,6 +43,9 @@ class Network:
     keep_bandwidth_series:
         Keep the full per-packet time series (needed for bucketed bandwidth
         plots; off by default to keep big sweeps lean).
+    fault_plan:
+        Optional chaos :class:`~repro.net.faults.FaultPlan` to install at
+        construction (see :meth:`set_fault_plan`).
     """
 
     def __init__(
@@ -52,6 +56,7 @@ class Network:
         proc_delay: float = 0.0,
         keep_bandwidth_series: bool = False,
         trace: Optional[Trace] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.sim = Simulator()
         self.topo = topo
@@ -65,6 +70,9 @@ class Network:
         self.transport = UnicastTransport(
             self.sim, topo, self.meter, loss_rate, loss_rng, proc_delay
         )
+        self.fault_plan: Optional[FaultPlan] = None
+        if fault_plan is not None:
+            self.set_fault_plan(fault_plan)
 
     # ------------------------------------------------------------------
     # Convenience pass-throughs used by protocol code
@@ -109,6 +117,30 @@ class Network:
         return self.transport.send(
             Packet(src=src, dst=dst, kind=kind, payload=payload, size=size), port=port
         )
+
+    # ------------------------------------------------------------------
+    # Chaos fault injection
+    # ------------------------------------------------------------------
+    def set_fault_plan(self, plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+        """Install ``plan`` on both fabrics (``None`` removes chaos).
+
+        A plan without an RNG gets the dedicated seeded ``net.chaos``
+        stream, keeping chaos draws off the base loss stream so enabling
+        faults never perturbs the ``net.loss`` sequence of an existing
+        seeded experiment.
+        """
+        if plan is not None and plan.rng is None:
+            plan.rng = self.rng.stream("net.chaos")
+        self.fault_plan = plan
+        self.multicast_fabric.fault_plan = plan
+        self.transport.fault_plan = plan
+        return plan
+
+    def ensure_fault_plan(self) -> FaultPlan:
+        """The installed fault plan, creating (and installing) one if absent."""
+        if self.fault_plan is None:
+            self.set_fault_plan(FaultPlan())
+        return self.fault_plan
 
     # ------------------------------------------------------------------
     # Failure injection

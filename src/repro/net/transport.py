@@ -19,6 +19,7 @@ import random
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.net.bandwidth import BandwidthMeter
+from repro.net.faults import FaultPlan
 from repro.net.packet import Packet
 from repro.net.topology import Topology, UNREACHABLE
 from repro.sim.engine import Simulator
@@ -40,14 +41,21 @@ class UnicastTransport:
         loss_rng: Optional[random.Random] = None,
         proc_delay: float = 0.0,
     ) -> None:
-        if not 0.0 <= loss_rate < 1.0:
-            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+        if loss_rate > 0.0 and loss_rng is None:
+            raise ValueError(
+                "loss_rate > 0 requires a seeded loss_rng; a missing stream "
+                "used to silently disable the loss process"
+            )
         self.sim = sim
         self.topo = topo
         self.meter = meter
         self.loss_rate = loss_rate
         self.loss_rng = loss_rng
         self.proc_delay = proc_delay
+        #: Optional chaos fault plan (installed via Network.set_fault_plan).
+        self.fault_plan: Optional[FaultPlan] = None
         self._ports: Dict[Tuple[str, str], Handler] = {}
         self._addresses: Dict[str, str] = {}
         # Route plan cache: (src, dst address) -> (host, total latency) or
@@ -114,6 +122,17 @@ class UnicastTransport:
         if self.loss_rng is not None and self.loss_rate > 0.0:
             if self.loss_rng.random() < self.loss_rate:
                 return False
+        fault = self.fault_plan
+        if fault is not None and fault.rules:
+            # Faults key on the resolved endpoint, not the virtual address:
+            # a partition severs the host wherever its addresses point.
+            offsets = fault.offsets(packet.src, host, self.sim.now)
+            if offsets is not None:
+                if not offsets:
+                    return False
+                for off in offsets:
+                    self.sim.call_after(delay + off, self._deliver, packet, host, port)
+                return True
         self.sim.call_after(delay, self._deliver, packet, host, port)
         return True
 

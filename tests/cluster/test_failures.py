@@ -1,5 +1,7 @@
 """Tests for the scripted failure schedule."""
 
+import random
+
 import pytest
 
 from repro.cluster import FailureSchedule
@@ -89,3 +91,137 @@ class TestFailureSchedule:
         for h, node in nodes.items():
             if h != hosts[4]:
                 assert node.view() == expect
+
+
+class TestCrashSemantics:
+    def test_crashed_node_emits_no_packets_at_or_after_crash(self):
+        net, hosts, nodes, sched = make()
+        victim = hosts[1]
+        sched.crash_node_at(12.0, victim)
+        # Probe scheduled at the exact crash instant but AFTER the crash
+        # event (later seq at the same time runs later): the tx counter
+        # must never move again from this point on.
+        tx_at_crash = {}
+
+        def snapshot():
+            tx_at_crash["packets"] = net.meter.packets(victim, "tx")
+
+        net.sim.call_at(12.0, snapshot)
+        net.run(until=40.0)
+        assert net.meter.packets(victim, "tx") == tx_at_crash["packets"]
+
+    def test_crash_is_not_a_graceful_leave(self):
+        # A kill must look like silence, not like a leave announcement.
+        net, hosts, nodes, sched = make()
+        victim = hosts[1]
+        sched.crash_node_at(12.0, victim)
+        net.run(until=40.0)
+        reasons = {
+            r.data.get("reason")
+            for r in net.trace.records(kind="member_down")
+            if r.data.get("target") == victim
+        }
+        assert "leave" not in reasons
+        assert reasons  # it was detected, the hard way
+
+
+class TestFlapDevice:
+    def test_flap_schedules_alternating_cycles(self):
+        net, hosts, nodes, sched = make()
+        cycles = sched.flap_device("dc0-sw1", first_down=15.0,
+                                   down_for=3.0, up_for=5.0, until=35.0)
+        assert cycles == 3  # 15, 23, 31
+        net.run(until=60.0)
+        kinds = [k for _t, k, d in sched.log if d == "dc0-sw1"]
+        assert kinds == ["device_fail", "device_recover"] * 3
+        assert net.topo.is_up("dc0-sw1")
+
+    def test_flap_validates_durations(self):
+        net, hosts, nodes, sched = make()
+        with pytest.raises(ValueError):
+            sched.flap_device("dc0-sw1", 10.0, down_for=0.0, up_for=1.0, until=20.0)
+        with pytest.raises(ValueError):
+            sched.flap_device("dc0-sw1", 10.0, down_for=1.0, up_for=-1.0, until=20.0)
+
+    def test_cluster_survives_flapping(self):
+        net, hosts, nodes, sched = make()
+        sched.flap_device("dc0-sw1", first_down=20.0,
+                          down_for=4.0, up_for=6.0, until=50.0)
+        net.run(until=100.0)
+        for node in nodes.values():
+            assert node.view() == sorted(hosts)
+
+
+class TestPartitionAt:
+    def test_asymmetric_partition_and_heal(self):
+        net, hosts, nodes, sched = make()
+        side_a = hosts[:3]   # network 0
+        side_b = hosts[3:]   # network 1
+        # The mute side's leader is purged per level timeouts, but its
+        # subtree entries ride the relayed-timeout backstop (20 s), so the
+        # window must outlast both.
+        sched.partition_at(20.0, side_a, side_b, heal_at=55.0, symmetric=False)
+        net.run(until=50.0)
+        # side_b purged the mute side_a...
+        for h in side_b:
+            assert all(a not in nodes[h].view() for a in side_a)
+        # ...but side_a still hears side_b (reverse direction flows).
+        for a in side_a:
+            assert any(b in nodes[a].view() for b in side_b)
+        net.run(until=100.0)
+        for node in nodes.values():
+            assert node.view() == sorted(hosts)
+
+    def test_partition_markers_logged(self):
+        net, hosts, nodes, sched = make()
+        sched.partition_at(20.0, hosts[:3], hosts[3:], heal_at=30.0)
+        net.run(until=35.0)
+        kinds = [k for _t, k, _d in sched.log]
+        assert kinds == ["partition", "partition_heal"]
+
+
+class TestChaosStorm:
+    def test_storm_is_deterministic_per_seed(self):
+        def plan(seed):
+            net, hosts, nodes, sched = make()
+            return sched.schedule_chaos_storm(
+                random.Random(seed), hosts, start=20.0, duration=30.0, events=5
+            )
+
+        assert plan(3) == plan(3)
+        assert plan(3) != plan(4)
+
+    def test_storm_outages_never_overlap_per_host(self):
+        net, hosts, nodes, sched = make()
+        storm = sched.schedule_chaos_storm(
+            random.Random(9), hosts, start=20.0, duration=40.0, events=12,
+            min_downtime=3.0, max_downtime=8.0,
+        )
+        assert storm == sorted(storm)
+        by_host = {}
+        for t, host, down in storm:
+            by_host.setdefault(host, []).append((t, t + down))
+        for intervals in by_host.values():
+            intervals.sort()
+            for (lo1, hi1), (lo2, hi2) in zip(intervals, intervals[1:]):
+                assert hi1 < lo2  # strictly disjoint, with the min_gap margin
+
+    def test_storm_validates_arguments(self):
+        net, hosts, nodes, sched = make()
+        with pytest.raises(ValueError):
+            sched.schedule_chaos_storm(random.Random(0), [], 0.0, 10.0)
+        with pytest.raises(ValueError):
+            sched.schedule_chaos_storm(random.Random(0), hosts, 0.0, 10.0,
+                                       min_downtime=5.0, max_downtime=2.0)
+
+    def test_cluster_survives_storm(self):
+        net, hosts, nodes, sched = make()
+        storm = sched.schedule_chaos_storm(
+            random.Random(5), hosts, start=20.0, duration=30.0, events=6,
+            min_downtime=4.0, max_downtime=10.0,
+        )
+        assert storm
+        net.run(until=120.0)
+        for node in nodes.values():
+            assert node.running
+            assert node.view() == sorted(hosts)

@@ -72,3 +72,52 @@ def test_different_seeds_diverge():
     # Sanity check that the guard is sensitive at all: with loss enabled,
     # different seeds must not produce the same trace.
     assert run_30_node_trace(True, seed=7) != run_30_node_trace(True, seed=8)
+
+
+def run_30_node_chaos_trace(fast_path: bool, seed: int = 7):
+    """The 30-node run with an active fault plan covering every effect.
+
+    Chaos draws happen at send time in receiver-iteration order on both
+    fabric paths, from the dedicated ``net.chaos`` stream — so the
+    trace-identity contract must survive loss, jitter, reordering and
+    duplication being injected mid-run.
+    """
+    net, hosts, nodes = make_scheme_cluster(
+        "hierarchical", 3, 10, seed=seed, loss_rate=0.02
+    )
+    net.multicast_fabric.use_fast_path = fast_path
+    plan = net.ensure_fault_plan()
+    plan.partition(hosts[:10], hosts[10:], start=15.0, until=30.0, symmetric=False)
+    plan.add(
+        src=hosts[10:20], dst=hosts[20:], loss=0.2, jitter=0.05,
+        reorder=0.3, reorder_window=0.2, duplicate=0.1, dup_lag=0.05,
+        start=15.0, until=30.0,
+    )
+    net.run(until=20.0)
+    victim = hosts[5]
+    nodes[victim].stop()
+    net.crash_host(victim)
+    net.run(until=50.0)
+    return [(r.time, r.kind, r.node, r.data) for r in net.trace]
+
+
+def test_chaos_trace_identical_across_fabric_paths():
+    fast = run_30_node_chaos_trace(fast_path=True)
+    slow = run_30_node_chaos_trace(fast_path=False)
+    assert len(fast) > 100
+    assert fast == slow
+
+
+def test_installing_inactive_fault_plan_changes_nothing():
+    # A plan whose rules never match consumes zero randomness: the trace
+    # must be byte-identical to a run with no plan at all.
+    def run(with_plan):
+        net, hosts, nodes = make_scheme_cluster(
+            "hierarchical", 3, 10, seed=7, loss_rate=0.02
+        )
+        if with_plan:
+            net.ensure_fault_plan().add(src="nonexistent-host", loss=1.0)
+        net.run(until=30.0)
+        return [(r.time, r.kind, r.node, r.data) for r in net.trace]
+
+    assert run(False) == run(True)

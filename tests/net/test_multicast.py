@@ -185,7 +185,31 @@ class TestLoss:
     def test_invalid_loss_rate_rejected(self):
         topo, _ = build_switched_cluster(1, 2)
         with pytest.raises(ValueError):
-            Network(topo, loss_rate=1.0)
+            Network(topo, loss_rate=1.5)
+        with pytest.raises(ValueError):
+            Network(topo, loss_rate=-0.1)
+
+    def test_total_loss_is_legal_and_drops_everything(self):
+        # loss_rate == 1.0 used to be rejected, but a fully black fabric is
+        # a legitimate fault scenario.
+        net, hosts = make_net(1, 2, loss_rate=1.0, seed=3)
+        sink = Collector(net)
+        net.subscribe("ch", hosts[1], sink)
+        for _ in range(50):
+            net.multicast(hosts[0], "ch", ttl=1, kind="hb", payload=None, size=1)
+        net.run()
+        assert sink.received == []
+
+    def test_lossy_fabric_without_rng_rejected(self):
+        # A missing stream used to silently disable the loss process,
+        # turning intended loss experiments into clean runs.
+        from repro.net.multicast import MulticastFabric
+        from repro.net.bandwidth import BandwidthMeter
+        from repro.sim.engine import Simulator
+
+        topo, _ = build_switched_cluster(1, 2)
+        with pytest.raises(ValueError, match="loss_rng"):
+            MulticastFabric(Simulator(), topo, BandwidthMeter(), 0.3, None)
 
 
 class TestMetering:

@@ -228,3 +228,51 @@ class TestBandwidthMeter:
         m.reset()
         assert m.bytes(direction="rx") == 0
         assert m.duration == 0.0
+
+
+class TestLossGuards:
+    """Mirror of the multicast loss-model guards on the unicast path."""
+
+    def test_total_loss_is_legal_and_drops_everything(self):
+        import random
+
+        from repro.net.builders import build_switched_cluster
+        from repro.net.transport import UnicastTransport
+        from repro.sim.engine import Simulator
+
+        topo, hosts = build_switched_cluster(1, 3)
+        sim = Simulator()
+        transport = UnicastTransport(
+            sim, topo, BandwidthMeter(), loss_rate=1.0,
+            loss_rng=random.Random(1),
+        )
+        from repro.net.packet import Packet
+
+        received = []
+        transport.bind(hosts[1], "membership", received.append)
+        for _ in range(20):
+            transport.send(
+                Packet(src=hosts[0], kind="poll", payload=None, size=8,
+                       dst=hosts[1])
+            )
+        sim.run()
+        assert received == []
+
+    def test_lossy_transport_without_rng_rejected(self):
+        from repro.net.transport import UnicastTransport
+        from repro.sim.engine import Simulator
+
+        topo, _hosts = build_switched_cluster(1, 3)
+        with pytest.raises(ValueError, match="loss_rng"):
+            UnicastTransport(Simulator(), topo, BandwidthMeter(),
+                             loss_rate=0.3, loss_rng=None)
+
+    def test_out_of_range_loss_rate_rejected(self):
+        from repro.net.transport import UnicastTransport
+        from repro.sim.engine import Simulator
+
+        topo, _hosts = build_switched_cluster(1, 3)
+        for bad in (1.5, -0.1):
+            with pytest.raises(ValueError, match="loss_rate"):
+                UnicastTransport(Simulator(), topo, BandwidthMeter(),
+                                 loss_rate=bad)
