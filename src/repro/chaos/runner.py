@@ -39,6 +39,8 @@ from repro.metrics.collectors import (
     view_change_curve,
 )
 from repro.metrics.experiment import make_scheme_cluster
+from repro.obs.registry import MetricsRegistry
+from repro.obs.wiring import enable_observability
 
 __all__ = ["ChaosScenario", "ChaosResult"]
 
@@ -93,6 +95,9 @@ class ChaosScenario:
     dup_lag: float = 0.05
     check_period: float = 2.0
     max_false_failures: int = 10
+    #: Optional metrics registry: when set, the run is fully instrumented
+    #: (protocol counters live, scenario outcomes recorded at the end).
+    registry: Optional[MetricsRegistry] = None
 
     def run(self) -> ChaosResult:
         net, hosts, nodes = make_scheme_cluster(
@@ -106,6 +111,9 @@ class ChaosScenario:
         # One flag flips both engines: the delivery fabric and the
         # protocol hot path (the determinism guard brackets the matrix).
         net.multicast_fabric.use_fast_path = self.use_fast_path
+        obs = None
+        if self.registry is not None:
+            obs = enable_observability(net, self.registry)
         m = self.hosts_per_network
         groups = [hosts[i * m : (i + 1) * m] for i in range(self.networks)]
 
@@ -160,16 +168,32 @@ class ChaosScenario:
             (r.time, r.kind, r.node, tuple(sorted(r.data.items())))
             for r in net.trace
         ]
+        detection = detection_time(net.trace, victim, kill_time)
+        convergence = convergence_time(
+            net.trace, victim, kill_time, expected_observers=strict
+        )
+        if obs is not None:
+            # Scenario-level outcomes: recorded once, after the run, so
+            # they cannot perturb the simulation itself.
+            inst = obs.instruments
+            if detection is not None:
+                inst.detection.observe(detection)
+            if convergence is not None:
+                inst.convergence.observe(convergence)
+            for v in checker.violations:
+                inst.chaos_violations.labels(invariant=v.invariant).inc()
+            if net.fault_plan is not None:
+                for effect, count in net.fault_plan.stats.items():
+                    inst.fault_effects.labels(effect=effect).add(count)
+            obs.sample_kernel()
         return ChaosResult(
             seed=self.seed,
             use_fast_path=self.use_fast_path,
             victim=victim,
             kill_time=kill_time,
             recover_time=recover_time,
-            detection=detection_time(net.trace, victim, kill_time),
-            convergence=convergence_time(
-                net.trace, victim, kill_time, expected_observers=strict
-            ),
+            detection=detection,
+            convergence=convergence,
             down_curve=view_change_curve(
                 net.trace, victim, observers, since=kill_time
             ),

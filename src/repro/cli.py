@@ -9,6 +9,7 @@ Examples
     python -m repro.cli formation --networks 2 --hosts 5
     python -m repro.cli failover --rate 10
     python -m repro.cli analysis --sizes 100 1000 4000
+    python -m repro.cli obs --networks 3 --hosts 8 --format prometheus
 """
 
 from __future__ import annotations
@@ -22,6 +23,12 @@ from repro.apps import SearchDeployment
 from repro.cluster.gateway import Gateway
 from repro.core import HierarchicalNode
 from repro.metrics import SCHEMES, FailureExperiment, make_scheme_cluster
+from repro.obs import (
+    JsonlTraceSink,
+    MetricsRegistry,
+    enable_observability,
+    to_json_str,
+)
 
 __all__ = ["main"]
 
@@ -115,6 +122,28 @@ def _cmd_failover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Instrumented formation run: converge a cluster, export its metrics."""
+    net, hosts, nodes = make_scheme_cluster(
+        args.scheme, args.networks, args.hosts, seed=args.seed
+    )
+    registry = MetricsRegistry()
+    handle = enable_observability(net, registry)
+    sink = None
+    if args.trace_out:
+        sink = net.trace.attach_sink(JsonlTraceSink(args.trace_out))
+    net.run(until=args.observe)
+    if sink is not None:
+        sink.close()
+        print(f"# wrote {sink.records_written} trace records to {args.trace_out}",
+              file=sys.stderr)
+    if args.format == "json":
+        print(to_json_str(registry, indent=2))
+    else:
+        print(handle.to_prometheus(), end="")
+    return 0
+
+
 def _cmd_analysis(args: argparse.Namespace) -> int:
     params = AnalysisParams(group_size=args.group_size)
     models = {name: cls(params) for name, cls in MODELS.items()}
@@ -169,6 +198,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=10.0)
     p.add_argument("--seed", type=int, default=4)
     p.set_defaults(fn=_cmd_failover)
+
+    p = sub.add_parser("obs", help="instrumented run: export protocol metrics")
+    p.add_argument("--scheme", choices=sorted(SCHEMES), default="hierarchical")
+    p.add_argument("--networks", type=int, default=3)
+    p.add_argument("--hosts", type=int, default=8)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--observe", type=float, default=40.0)
+    p.add_argument("--format", choices=["prometheus", "json"], default="prometheus")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="also stream the trace to a JSONL file")
+    p.set_defaults(fn=_cmd_obs)
 
     p = sub.add_parser("analysis", help="Section 4 closed forms")
     p.add_argument("--sizes", type=int, nargs="+", default=[20, 100, 1000, 4000])

@@ -326,6 +326,7 @@ class HierarchicalNode(MembershipNode):
                 self._hb_cache[level] = (
                     record, group.i_am_leader, group.suppressed, backup, seq, hb,
                 )
+        self.network.obs.hb_tx.inc()
         self.network.multicast(
             self.node_id,
             self.config.channel(level),
@@ -341,6 +342,8 @@ class HierarchicalNode(MembershipNode):
     def _on_heartbeat(self, hb: Heartbeat, level: int) -> None:
         group = self._groups[level]
         now = self.network.now
+        obs = self.network.obs
+        obs.hb_rx.inc()
         if self.use_fast_path:
             nid = hb.record.node_id
             peer = group.peers.get(nid)
@@ -362,6 +365,7 @@ class HierarchicalNode(MembershipNode):
                 # countdown and the two-leaders rule both need a state
                 # change or our own flag, and those route through the slow
                 # path or the status tick).
+                obs.hb_rx_fast.inc()
                 if self._tombstones:
                     self._tombstones.pop(nid, None)
                 peer.last_heard = now
@@ -442,6 +446,7 @@ class HierarchicalNode(MembershipNode):
                 port=HMEMBER_PORT,
             )
         elif packet.kind == "sync_resp":
+            self.network.obs.sync_resps.inc()
             self._pending_syncs.discard(packet.src)
             self._merge_snapshot(
                 packet.payload["snapshot"], via=packet.src, prune_relayer=True
@@ -469,6 +474,9 @@ class HierarchicalNode(MembershipNode):
             return False
         self._last_sync[peer] = now
         snapshot = [r for r in self.directory.records() if r.node_id != peer]
+        obs = self.network.obs
+        obs.syncs_sent.inc()
+        obs.sync_snapshot.observe(len(snapshot))
         self.network.unicast(
             self.node_id,
             peer,
@@ -795,6 +803,7 @@ class HierarchicalNode(MembershipNode):
         if group.last_dead_leader is not None:
             self.directory.reattribute(group.last_dead_leader, self.node_id)
             group.last_dead_leader = None
+        self.network.obs.elections.inc()
         self.network.trace.emit(
             self.network.now, "leader_elected", node=self.node_id, level=level
         )
@@ -825,6 +834,7 @@ class HierarchicalNode(MembershipNode):
         group.i_am_leader = False
         group.my_backup = None
         group.suppressed = True
+        self.network.obs.stepdowns.inc()
         self.network.trace.emit(
             self.network.now, "leader_stepdown", node=self.node_id, level=level
         )
@@ -891,6 +901,7 @@ class HierarchicalNode(MembershipNode):
         if level not in self._groups:
             return
         msg = self._updates.build(level, ops, uid=uid, origin=origin)
+        self.network.obs.updates_tx.inc()
         self.network.multicast(
             self.node_id,
             self.config.channel(level),
@@ -901,13 +912,21 @@ class HierarchicalNode(MembershipNode):
         )
 
     def _on_update(self, msg: UpdateMessage, level: int) -> None:
+        obs = self.network.obs
+        obs.updates_rx.inc()
         outcome = self._updates.receive(msg)
+        if outcome.recovered:
+            obs.piggyback_recovered.add(outcome.recovered)
         # Every newly-applied op group is relayed — including groups
         # recovered from the piggyback, otherwise a relay point that
         # recovered a lost update would starve its whole subtree of it.
+        applied = 0
         for uid, ops in outcome.apply:
+            applied += len(ops)
             self._apply_ops(ops, via=msg.sender)
             self._relay_ops(uid, msg.origin, ops, from_level=level)
+        if applied:
+            obs.update_ops.add(applied)
         if outcome.need_sync:
             self._maybe_sync(msg.sender)
 

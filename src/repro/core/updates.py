@@ -94,6 +94,9 @@ class RecvOutcome:
     need_sync: bool = False
     #: True when this message's primary update was new (should be relayed)
     relay: bool = False
+    #: op groups in ``apply`` that came from the piggyback, not the
+    #: primary update — free loss recovery (observability counter).
+    recovered: int = 0
 
 
 #: Default bound on the remembered-uid window (see UpdateManager).
@@ -207,7 +210,20 @@ class UpdateManager:
             # hole triggers a bootstrap sync.
             last = 0
         if msg.seq <= last:
-            # Duplicate or reordered-behind packet: uid dedup still applies.
+            # Duplicate or reordered-behind packet: uid dedup still
+            # applies, and the piggyback may carry updates we never saw —
+            # a reordered-behind message's tail can hold a seq that was
+            # lost, then jumped over by note_synced or a later gap whose
+            # own piggyback no longer reached back that far.  The forward
+            # path recovers these for free; discarding them here threw
+            # the loss-recovery data away.  (Piggybacked seqs are all
+            # < msg.seq, so _last_seen needs no update, and an entry we
+            # did apply before is uid-deduplicated.)
+            for _seq, uid, ops in msg.piggyback:
+                if uid not in self._seen_uids:
+                    self.mark_seen(uid)
+                    outcome.apply.append((uid, ops))
+                    outcome.recovered += 1
             if msg.uid not in self._seen_uids:
                 self.mark_seen(msg.uid)
                 outcome.apply.append((msg.uid, msg.ops))
@@ -229,6 +245,7 @@ class UpdateManager:
                 if uid not in self._seen_uids:
                     self.mark_seen(uid)
                     outcome.apply.append((uid, ops))
+                    outcome.recovered += 1
         self._last_seen[key] = msg.seq
 
         if msg.uid not in self._seen_uids:

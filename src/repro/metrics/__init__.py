@@ -16,6 +16,7 @@ from repro.metrics.collectors import (
     bandwidth_stats,
     convergence_time,
     detection_time,
+    view_change_curve,
 )
 from repro.metrics.experiment import (
     FailureExperiment,
@@ -33,4 +34,5 @@ __all__ = [
     "FailureResult",
     "SCHEMES",
     "make_scheme_cluster",
+    "view_change_curve",
 ]

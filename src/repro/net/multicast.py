@@ -48,6 +48,7 @@ from repro.net.bandwidth import BandwidthMeter
 from repro.net.faults import FaultPlan
 from repro.net.packet import Packet
 from repro.net.topology import Topology
+from repro.obs.wiring import NOOP, Instruments
 from repro.sim.engine import Simulator
 
 __all__ = ["MulticastFabric"]
@@ -112,6 +113,8 @@ class MulticastFabric:
         self.use_fast_path = True
         #: Optional chaos fault plan (installed via Network.set_fault_plan).
         self.fault_plan: Optional[FaultPlan] = None
+        #: Shared instruments; no-op until observability is enabled.
+        self.obs: Instruments = NOOP
         # channel -> host -> handler
         self._subs: Dict[str, Dict[str, Handler]] = defaultdict(dict)
         # channel -> version, bumped on any subscription change to that channel
@@ -199,9 +202,13 @@ class MulticastFabric:
         if not self.topo.is_up(packet.src):
             return 0
         self.meter.record(self.sim.now, packet.src, "tx", packet.kind, packet.size)
+        obs = self.obs
+        obs.mc_tx.inc()
         recipients = self._plan(packet.channel, packet.src, packet.ttl)
+        obs.mc_fanout.observe(len(recipients))
         if not recipients:
             return 0
+        obs.mc_deliveries.add(len(recipients))
         fault = self.fault_plan
         if fault is not None and fault.rules:
             return self._send_fast_chaos(packet, recipients, fault)
@@ -212,14 +219,18 @@ class MulticastFabric:
         if self.loss_rng is not None and self.loss_rate > 0.0:
             rand = self.loss_rng.random
             rate = self.loss_rate
+            dropped = 0
             for host, handler, delay in recipients:
                 if rand() < rate:
+                    dropped += 1
                     continue
                 bucket = buckets.get(delay)
                 if bucket is None:
                     buckets[delay] = [(host, handler)]
                 else:
                     bucket.append((host, handler))
+            if dropped:
+                obs.mc_drops.add(dropped)
         else:
             for host, handler, delay in recipients:
                 bucket = buckets.get(delay)
@@ -252,8 +263,10 @@ class MulticastFabric:
         rand = self.loss_rng.random if lossy else None
         rate = self.loss_rate
         buckets: Dict[float, List[Tuple[str, Handler]]] = {}
+        dropped = 0
         for host, handler, delay in recipients:
             if lossy and rand() < rate:
+                dropped += 1
                 continue
             offsets = fault.offsets(src, host, now)
             if offsets is None:
@@ -261,6 +274,8 @@ class MulticastFabric:
                 continue
             for off in offsets:
                 buckets.setdefault(delay + off, []).append((host, handler))
+        if dropped:
+            self.obs.mc_drops.add(dropped)
         for delay, bucket in buckets.items():
             self.sim.call_at_batch(now + delay, self._deliver_batch, bucket, packet)
         return len(recipients)
@@ -270,14 +285,18 @@ class MulticastFabric:
         if not self.topo.is_up(packet.src):
             return 0
         self.meter.record(self.sim.now, packet.src, "tx", packet.kind, packet.size)
+        obs = self.obs
+        obs.mc_tx.inc()
         subs = self._subs.get(packet.channel)
         if not subs:
+            obs.mc_fanout.observe(0)
             return 0
         fault = self.fault_plan
         if fault is not None and not fault.rules:
             fault = None
         now = self.sim.now
         delivered = 0
+        dropped = 0
         for host, handler in list(subs.items()):
             if host == packet.src:
                 continue
@@ -287,6 +306,7 @@ class MulticastFabric:
             delivered += 1
             if self.loss_rng is not None and self.loss_rate > 0.0:
                 if self.loss_rng.random() < self.loss_rate:
+                    dropped += 1
                     continue
             delay = self.topo.latency(packet.src, host) + self.proc_delay
             if fault is not None:
@@ -296,6 +316,10 @@ class MulticastFabric:
                         self.sim.call_after(delay + off, self._deliver, packet, host, handler)
                     continue
             self.sim.call_after(delay, self._deliver, packet, host, handler)
+        obs.mc_fanout.observe(delivered)
+        obs.mc_deliveries.add(delivered)
+        if dropped:
+            obs.mc_drops.add(dropped)
         return delivered
 
     def _deliver_batch(self, recipients: List[Tuple[str, Handler]], packet: Packet) -> None:
@@ -318,6 +342,7 @@ class MulticastFabric:
         self.meter.record_many(
             self.sim.now, [host for host, _handler in live], "rx", packet.kind, packet.size
         )
+        self.obs.mc_rx.add(len(live))
         for _host, handler in live:
             handler(packet)
 
@@ -328,4 +353,5 @@ class MulticastFabric:
         if self._subs.get(packet.channel, {}).get(host) is not handler:
             return
         self.meter.record(self.sim.now, host, "rx", packet.kind, packet.size)
+        self.obs.mc_rx.inc()
         handler(packet)

@@ -17,6 +17,7 @@ from repro.net.multicast import MulticastFabric
 from repro.net.packet import Packet
 from repro.net.topology import Topology
 from repro.net.transport import UnicastTransport
+from repro.obs.wiring import NOOP, Instruments
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Trace
@@ -73,6 +74,9 @@ class Network:
         self.fault_plan: Optional[FaultPlan] = None
         if fault_plan is not None:
             self.set_fault_plan(fault_plan)
+        # Shared instrument bundle; the no-op singleton until
+        # repro.obs.enable_observability swaps in real instruments.
+        self.obs: Instruments = NOOP
 
     # ------------------------------------------------------------------
     # Convenience pass-throughs used by protocol code

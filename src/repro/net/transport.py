@@ -22,6 +22,7 @@ from repro.net.bandwidth import BandwidthMeter
 from repro.net.faults import FaultPlan
 from repro.net.packet import Packet
 from repro.net.topology import Topology, UNREACHABLE
+from repro.obs.wiring import NOOP, Instruments
 from repro.sim.engine import Simulator
 
 __all__ = ["UnicastTransport"]
@@ -56,6 +57,8 @@ class UnicastTransport:
         self.proc_delay = proc_delay
         #: Optional chaos fault plan (installed via Network.set_fault_plan).
         self.fault_plan: Optional[FaultPlan] = None
+        #: Shared instruments; no-op until observability is enabled.
+        self.obs: Instruments = NOOP
         self._ports: Dict[Tuple[str, str], Handler] = {}
         self._addresses: Dict[str, str] = {}
         # Route plan cache: (src, dst address) -> (host, total latency) or
@@ -115,12 +118,16 @@ class UnicastTransport:
         if not self.topo.is_up(packet.src):
             return False
         self.meter.record(self.sim.now, packet.src, "tx", packet.kind, packet.size)
+        obs = self.obs
+        obs.uc_tx.inc()
         route = self._route(packet.src, packet.dst)
         if route is None:
+            obs.uc_unroutable.inc()
             return False
         host, delay = route
         if self.loss_rng is not None and self.loss_rate > 0.0:
             if self.loss_rng.random() < self.loss_rate:
+                obs.uc_drops.inc()
                 return False
         fault = self.fault_plan
         if fault is not None and fault.rules:
@@ -166,4 +173,5 @@ class UnicastTransport:
         if handler is None:
             return
         self.meter.record(self.sim.now, host, "rx", packet.kind, packet.size)
+        self.obs.uc_rx.inc()
         handler(packet)

@@ -1,0 +1,79 @@
+"""Registry exporters: Prometheus text exposition and JSON.
+
+Both walk families and children in creation (insertion) order and format
+numbers deterministically, so a seeded simulation exports byte-identical
+reports — the property the determinism-guard tests extend to the whole
+observability layer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List
+
+from repro.obs.registry import Counter, Family, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["to_prometheus", "to_json", "to_json_str"]
+
+
+def _fmt(v: float) -> str:
+    """Prometheus sample value: integers without the trailing ``.0``."""
+    if isinstance(v, float) and math.isinf(v):
+        return "+Inf"
+    if isinstance(v, float) and v.is_integer():
+        return str(int(v))
+    return repr(v)
+
+
+def _label_str(labels, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for fam in registry.families():
+        if fam.help:
+            lines.append(f"# HELP {fam.name} {fam.help}")
+        lines.append(f"# TYPE {fam.name} {fam.kind}")
+        for labels, inst in fam.children():
+            if isinstance(inst, Histogram):
+                for bound, cum in inst.cumulative():
+                    le = _label_str(labels, f'le="{_fmt(bound)}"')
+                    lines.append(f"{fam.name}_bucket{le} {cum}")
+                ls = _label_str(labels)
+                lines.append(f"{fam.name}_sum{ls} {_fmt(inst.sum)}")
+                lines.append(f"{fam.name}_count{ls} {inst.count}")
+            else:
+                lines.append(f"{fam.name}{_label_str(labels)} {_fmt(inst.get())}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _family_json(fam: Family) -> Dict:
+    children = []
+    for labels, inst in fam.children():
+        entry: Dict[str, object] = {"labels": dict(labels)}
+        if isinstance(inst, Histogram):
+            entry["count"] = inst.count
+            entry["sum"] = inst.sum
+            entry["buckets"] = [
+                {"le": ("+Inf" if math.isinf(b) else b), "count": c}
+                for b, c in inst.cumulative()
+            ]
+        elif isinstance(inst, (Counter, Gauge)):
+            entry["value"] = inst.get()
+        children.append(entry)
+    return {"name": fam.name, "kind": fam.kind, "help": fam.help, "samples": children}
+
+
+def to_json(registry: MetricsRegistry) -> List[Dict]:
+    """Registry as plain data (the shape ``repro obs --format json`` prints)."""
+    return [_family_json(fam) for fam in registry.families()]
+
+
+def to_json_str(registry: MetricsRegistry, indent: int = 2) -> str:
+    return json.dumps(to_json(registry), indent=indent)

@@ -1,0 +1,124 @@
+"""Streaming trace sinks: JSONL files and bounded ring buffers.
+
+The paper's nodes "dump the membership directory to a disk file when
+there is a change" (Section 6.4); these sinks are that idea done
+properly.  A sink is any callable taking a
+:class:`~repro.sim.trace.TraceRecord`; attach one with
+:meth:`Trace.attach_sink`, which also lets the trace run with
+``retain=False`` so million-record Fig. 11 sweeps stream to disk (or a
+bounded buffer) instead of accumulating an unbounded in-memory list.
+
+Determinism: the JSONL encoding sorts data keys and uses ``repr``-exact
+float formatting via :func:`json.dumps`, so two same-seed runs produce
+byte-identical files — covered by the determinism-guard tests.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterator, List, Optional, Union
+
+from repro.sim.trace import TraceRecord
+
+__all__ = ["JsonlTraceSink", "RingBufferSink", "read_jsonl_trace"]
+
+
+class JsonlTraceSink:
+    """Append each trace record to a file as one JSON line.
+
+    Records are written in emit order with sorted data keys::
+
+        {"t": 12.0, "kind": "member_down", "node": "h3", "data": {...}}
+
+    The sink buffers through the underlying file object; call
+    :meth:`flush`/:meth:`close` (or use it as a context manager) before
+    reading the file back.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
+        self.records_written = 0
+
+    def __call__(self, rec: TraceRecord) -> None:
+        fh = self._fh
+        if fh is None:
+            raise ValueError(f"sink for {self.path} is closed")
+        fh.write(
+            json.dumps(
+                {"t": rec.time, "kind": rec.kind, "node": rec.node, "data": rec.data},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+        fh.write("\n")
+        self.records_written += 1
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_jsonl_trace(path: Union[str, Path]) -> List[TraceRecord]:
+    """Load a JSONL trace file back into :class:`TraceRecord` objects."""
+    out: List[TraceRecord] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            out.append(TraceRecord(obj["t"], obj["kind"], obj["node"], obj["data"]))
+    return out
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` records, O(1) per emit.
+
+    The flight-recorder shape: a long soak run retains a bounded tail
+    for post-mortem inspection while the full stream goes to a JSONL
+    sink (or nowhere).
+    """
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._buf: deque[TraceRecord] = deque(maxlen=capacity)
+        self.records_seen = 0
+
+    def __call__(self, rec: TraceRecord) -> None:
+        self._buf.append(rec)
+        self.records_seen += 1
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._buf)
+
+    def records(self, kind: Optional[str] = None) -> List[TraceRecord]:
+        if kind is None:
+            return list(self._buf)
+        return [r for r in self._buf if r.kind == kind]
+
+    @property
+    def dropped(self) -> int:
+        """Records that fell off the front of the buffer."""
+        return self.records_seen - len(self._buf)
+
+    def clear(self) -> None:
+        self._buf.clear()

@@ -179,14 +179,17 @@ class MembershipNode(ABC):
         Metric reconstruction needs it: without the reset marker a
         restarted node would appear to still hold its pre-crash view.
         """
+        self.network.obs.view_resets.inc()
         self.network.trace.emit(self.network.now, "view_reset", node=self.node_id)
 
     def _emit_member_up(self, target: str) -> None:
+        self.network.obs.member_up.inc()
         self.network.trace.emit(
             self.network.now, "member_up", node=self.node_id, target=target
         )
 
     def _emit_member_down(self, target: str, reason: str = "timeout") -> None:
+        self.network.obs.member_down.labels(reason=reason).inc()
         self.network.trace.emit(
             self.network.now, "member_down", node=self.node_id, target=target, reason=reason
         )

@@ -6,10 +6,33 @@ exactly how the paper did it ("each node dumps its membership directory to a
 disk file when there is a change", Section 6.4), except our records carry
 exact virtual timestamps so no clock-synchronisation start-message dance is
 needed.
+
+Storage and queries
+-------------------
+Records are kept both in one append-only list and in a **per-kind index**,
+so ``records(kind=...)`` — the query every collector in
+:mod:`repro.metrics.collectors` and the chaos invariant checker lean on —
+no longer linear-scans the full trace.  Emit times are monotone during a
+simulation run, which additionally lets time-window filters binary-search
+the kind lists; manually emitted out-of-order times (tests) fall back to a
+linear scan automatically.
+
+For sweeps too large to retain in memory, construct the trace with
+``retain=False`` and attach a streaming sink
+(:mod:`repro.obs.sinks`): every record still reaches subscribers/sinks,
+but nothing accumulates in the process (see docs/OBSERVABILITY.md).
+
+Subscriber contract
+-------------------
+Subscribers see **every enabled emit**, before the ``kinds`` retention
+filter is applied: ``kinds`` controls what the in-memory trace *stores*,
+not what live collectors observe.  (A previous revision filtered first,
+which silently starved collectors whenever a sweep restricted kinds.)
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -39,34 +62,77 @@ class TraceRecord:
     data: Dict[str, Any] = field(default_factory=dict)
 
 
-class Trace:
-    """Append-only in-memory trace with cheap filtered queries.
+def _time_of(rec: TraceRecord) -> float:
+    return rec.time
 
-    Tracing can be disabled wholesale (``enabled=False``) or restricted to a
-    set of kinds, which the large Fig. 11 sweeps use to avoid accumulating
-    millions of packet records.
+
+class Trace:
+    """Append-only in-memory trace with indexed filtered queries.
+
+    Tracing can be disabled wholesale (``enabled=False``), restricted to a
+    set of kinds (``kinds=...``), or switched to pure streaming
+    (``retain=False``), which the large Fig. 11 sweeps use to avoid
+    accumulating millions of packet records.
     """
 
-    def __init__(self, enabled: bool = True, kinds: Optional[set[str]] = None) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        kinds: Optional[set[str]] = None,
+        retain: bool = True,
+    ) -> None:
         self.enabled = enabled
         self.kinds = kinds
+        self.retain = retain
         self._records: List[TraceRecord] = []
+        self._by_kind: Dict[str, List[TraceRecord]] = {}
         self._subscribers: List[Callable[[TraceRecord], None]] = []
+        # True while emit times have been non-decreasing; gates the
+        # binary-searched time windows in records().
+        self._monotonic = True
+        self._last_time = float("-inf")
 
     def emit(self, time: float, kind: str, node: Optional[str] = None, **data: Any) -> None:
-        """Record an event (no-op when disabled or kind-filtered out)."""
+        """Record an event (no-op when disabled).
+
+        Subscribers are notified of every enabled emit *before* the
+        ``kinds`` retention filter decides whether the record is stored —
+        a kind-restricted sweep must not starve live collectors.
+        """
         if not self.enabled:
             return
-        if self.kinds is not None and kind not in self.kinds:
+        keep = self.retain and (self.kinds is None or kind in self.kinds)
+        subs = self._subscribers
+        if not keep and not subs:
             return
         rec = TraceRecord(time, kind, node, data)
-        self._records.append(rec)
-        for sub in self._subscribers:
+        for sub in subs:
             sub(rec)
+        if keep:
+            self._records.append(rec)
+            bucket = self._by_kind.get(kind)
+            if bucket is None:
+                self._by_kind[kind] = [rec]
+            else:
+                bucket.append(rec)
+            if time < self._last_time:
+                self._monotonic = False
+            else:
+                self._last_time = time
 
     def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
         """Invoke ``fn`` on every future record (live metric collectors)."""
         self._subscribers.append(fn)
+
+    def attach_sink(self, sink: Callable[[TraceRecord], None]) -> Callable[[TraceRecord], None]:
+        """Stream every future record into ``sink`` (returns it unchanged).
+
+        Sinks are plain subscribers; see :mod:`repro.obs.sinks` for the
+        JSONL and ring-buffer implementations.  Combine with
+        ``retain=False`` for unbounded runs.
+        """
+        self.subscribe(sink)
+        return sink
 
     # ------------------------------------------------------------------
     # Queries
@@ -77,6 +143,28 @@ class Trace:
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
 
+    def _kind_slice(
+        self, kind: str, since: Optional[float], until: Optional[float]
+    ) -> List[TraceRecord]:
+        """Records of ``kind`` within the window, via the index."""
+        bucket = self._by_kind.get(kind)
+        if not bucket:
+            return []
+        lo, hi = 0, len(bucket)
+        if self._monotonic:
+            # Kind lists inherit the global emit order, so a monotone
+            # trace can bisect the window instead of scanning.
+            if since is not None:
+                lo = bisect_left(bucket, since, key=_time_of)
+            if until is not None:
+                hi = bisect_right(bucket, until, key=_time_of)
+            return bucket[lo:hi]
+        return [
+            r
+            for r in bucket
+            if (since is None or r.time >= since) and (until is None or r.time <= until)
+        ]
+
     def records(
         self,
         kind: Optional[str] = None,
@@ -85,10 +173,13 @@ class Trace:
         until: Optional[float] = None,
     ) -> List[TraceRecord]:
         """Return records matching all the given filters, in time order."""
+        if kind is not None:
+            selected = self._kind_slice(kind, since, until)
+            if node is None:
+                return list(selected)
+            return [r for r in selected if r.node == node]
         out = []
         for rec in self._records:
-            if kind is not None and rec.kind != kind:
-                continue
             if node is not None and rec.node != node:
                 continue
             if since is not None and rec.time < since:
@@ -98,23 +189,53 @@ class Trace:
             out.append(rec)
         return out
 
-    def first(self, kind: str, **filters: Any) -> Optional[TraceRecord]:
-        """Earliest record of ``kind`` whose data matches ``filters``."""
-        for rec in self._records:
-            if rec.kind != kind:
+    def count(self, kind: str) -> int:
+        """Number of stored records of ``kind`` (O(1))."""
+        bucket = self._by_kind.get(kind)
+        return len(bucket) if bucket else 0
+
+    def kind_names(self) -> List[str]:
+        """Kinds with at least one stored record, in first-seen order."""
+        return [k for k, bucket in self._by_kind.items() if bucket]
+
+    def _match(
+        self, kind: str, node: Optional[str], filters: Dict[str, Any], reverse: bool
+    ) -> Optional[TraceRecord]:
+        bucket = self._by_kind.get(kind)
+        if not bucket:
+            return None
+        it = reversed(bucket) if reverse else iter(bucket)
+        for rec in it:
+            if node is not None and rec.node != node:
                 continue
             if all(rec.data.get(k) == v for k, v in filters.items()):
                 return rec
         return None
 
-    def last(self, kind: str, **filters: Any) -> Optional[TraceRecord]:
-        """Latest record of ``kind`` whose data matches ``filters``."""
-        for rec in reversed(self._records):
-            if rec.kind != kind:
-                continue
-            if all(rec.data.get(k) == v for k, v in filters.items()):
-                return rec
-        return None
+    def first(
+        self, kind: str, node: Optional[str] = None, **filters: Any
+    ) -> Optional[TraceRecord]:
+        """Earliest record of ``kind`` whose data matches ``filters``.
+
+        ``node=`` filters the *emitting* node, consistent with
+        :meth:`records` — it is not a data filter.  (It used to be
+        silently matched against ``data["node"]``, which no record
+        carries, so ``first("member_down", node=...)`` always returned
+        ``None``.)
+        """
+        return self._match(kind, node, filters, reverse=False)
+
+    def last(
+        self, kind: str, node: Optional[str] = None, **filters: Any
+    ) -> Optional[TraceRecord]:
+        """Latest record of ``kind`` whose data matches ``filters``.
+
+        ``node=`` filters the emitting node, like :meth:`first`.
+        """
+        return self._match(kind, node, filters, reverse=True)
 
     def clear(self) -> None:
         self._records.clear()
+        self._by_kind.clear()
+        self._monotonic = True
+        self._last_time = float("-inf")

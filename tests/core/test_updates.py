@@ -192,6 +192,39 @@ class TestReorderingEdges:
         assert late.relay
         assert not late.need_sync
 
+    def test_duplicate_behind_recovers_unseen_piggyback(self):
+        """Regression: the duplicate path discarded piggyback recovery.
+
+        A directory sync can jump the stream position over lost seqs
+        (``note_synced``); when a delayed packet from before the jump
+        finally lands it is duplicate-behind, but its piggyback may
+        carry the very updates that were lost.  They used to be thrown
+        away; they must be recovered exactly like the forward-gap path.
+        """
+        alice, bob = UpdateManager("a"), UpdateManager("b")
+        m1 = alice.build(0, [add_op("a1")])
+        alice.build(0, [add_op("a2")])  # lost
+        alice.build(0, [add_op("a3")])  # lost
+        m4 = alice.build(0, [add_op("a4")])  # delayed in flight
+        bob.receive(m1)
+        bob.note_synced("a", 0, 4)  # full sync jumped the stream forward
+        out = bob.receive(m4)  # arrives late: seq 4 <= last 4
+        applied = [ops[0].node_id for _uid, ops in out.apply]
+        assert applied == ["a2", "a3", "a4"]
+        assert out.recovered == 2  # a2/a3 came from the piggyback
+        assert out.relay  # m4's own uid was never seen either
+        assert not out.need_sync
+        # Stream position must not regress from piggybacked (older) seqs.
+        assert not bob.behind("a", 0, 4)
+
+    def test_recovered_counter_on_gap_path(self):
+        alice, bob = UpdateManager("a"), UpdateManager("b")
+        bob.receive(alice.build(0, [add_op("a")]))
+        alice.build(0, [add_op("b")])  # lost
+        out = bob.receive(alice.build(0, [add_op("c")]))
+        assert len(out.apply) == 2
+        assert out.recovered == 1  # only "b" was a piggyback recovery
+
     def test_duplicate_behind_with_seen_uid_is_silent(self):
         alice, bob = UpdateManager("a"), UpdateManager("b")
         m1 = alice.build(0, [add_op("x")])

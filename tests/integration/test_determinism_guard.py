@@ -121,3 +121,49 @@ def test_installing_inactive_fault_plan_changes_nothing():
         return [(r.time, r.kind, r.node, r.data) for r in net.trace]
 
     assert run(False) == run(True)
+
+
+def run_30_node_observed_trace(instrumented: bool, jsonl_path=None):
+    """The 30-node crash run with the observability layer attached.
+
+    Observability (PR: obs layer) extends the pure-optimization contract:
+    instruments never draw randomness, never schedule protocol work, and
+    sinks are passive subscribers — so enabling any of it must not move a
+    single trace event.
+    """
+    from repro.obs import JsonlTraceSink, MetricsRegistry, enable_observability
+
+    net, hosts, nodes = make_scheme_cluster(
+        "hierarchical", 3, 10, seed=7, loss_rate=0.02
+    )
+    sink = None
+    if instrumented:
+        enable_observability(net, MetricsRegistry())
+    if jsonl_path is not None:
+        sink = net.trace.attach_sink(JsonlTraceSink(jsonl_path))
+    net.run(until=20.0)
+    victim = hosts[5]
+    nodes[victim].stop()
+    net.crash_host(victim)
+    net.run(until=50.0)
+    if sink is not None:
+        sink.close()
+    return [(r.time, r.kind, r.node, r.data) for r in net.trace]
+
+
+def test_enabling_observability_changes_nothing():
+    plain = run_30_node_observed_trace(instrumented=False)
+    observed = run_30_node_observed_trace(instrumented=True)
+    assert len(plain) > 100
+    assert plain == observed
+
+
+def test_jsonl_sink_attached_changes_nothing_and_is_byte_identical(tmp_path):
+    plain = run_30_node_observed_trace(instrumented=False)
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    with_sink = run_30_node_observed_trace(instrumented=True, jsonl_path=a)
+    assert plain == with_sink
+    run_30_node_observed_trace(instrumented=True, jsonl_path=b)
+    # Two same-seed runs stream byte-identical files.
+    assert a.read_bytes() == b.read_bytes()
+    assert len(a.read_bytes()) > 0

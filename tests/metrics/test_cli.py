@@ -57,3 +57,38 @@ class TestCommands:
         out = capsys.readouterr().out
         for scheme in ("all-to-all", "gossip", "hierarchical"):
             assert scheme in out
+
+    def test_obs_prometheus_output(self, capsys):
+        code = main(
+            ["obs", "--networks", "1", "--hosts", "4", "--observe", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_heartbeats_tx_total counter" in out
+        assert "repro_multicast_fanout_bucket" in out
+        assert "repro_sim_now_seconds 20" in out
+
+    def test_obs_json_output(self, capsys):
+        import json
+
+        code = main(
+            ["obs", "--networks", "1", "--hosts", "4", "--observe", "20",
+             "--format", "json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        names = {fam["name"] for fam in data}
+        assert "repro_heartbeats_tx_total" in names
+
+    def test_obs_trace_out(self, capsys, tmp_path):
+        from repro.obs import read_jsonl_trace
+
+        path = tmp_path / "trace.jsonl"
+        code = main(
+            ["obs", "--networks", "1", "--hosts", "4", "--observe", "20",
+             "--trace-out", str(path)]
+        )
+        assert code == 0
+        records = read_jsonl_trace(path)
+        assert records
+        assert any(r.kind == "member_up" for r in records)

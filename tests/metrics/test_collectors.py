@@ -7,6 +7,7 @@ from repro.metrics import (
     bandwidth_stats,
     convergence_time,
     detection_time,
+    view_change_curve,
 )
 from repro.net import BandwidthMeter
 from repro.sim import Trace
@@ -122,3 +123,101 @@ class TestAccuracy:
         series = dict(accuracy_timeseries(tr, hosts, alive, horizon=10.0))
         # After b dies, only a is scored; a still lists b -> accuracy < 1.
         assert series[7.0] < 1.0
+
+    def test_view_reset_wipes_reconstructed_view(self):
+        """A daemon restart drops the pre-crash view until re-discovery."""
+        hosts = ["a", "b", "c"]
+        events = []
+        for obs in hosts:
+            for tgt in hosts:
+                if obs != tgt:
+                    events.append((0.5, "member_up", obs, tgt))
+        tr = make_trace(events)
+        # a restarts at t=10 (instantly, so it stays an observer
+        # throughout) and only re-learns b at t=12; c stays unknown.
+        tr.emit(10.0, "view_reset", node="a")
+        tr.emit(12.0, "member_up", node="a", target="b")
+        alive = {h: [(0.0, 100.0)] for h in hosts}
+        series = dict(accuracy_timeseries(tr, hosts, alive, horizon=20.0))
+        assert series[9.0] == 1.0
+        # At t=11, a's view is {a}: per-observer Jaccard = 1/3, averaged
+        # with two perfect observers.
+        assert series[11.0] == pytest.approx((1 / 3 + 1.0 + 1.0) / 3)
+        # b re-learned, c still missing: a scores 2/3.
+        assert series[13.0] == pytest.approx((2 / 3 + 1.0 + 1.0) / 3)
+
+    def test_view_reset_tied_with_member_up_applies_first(self):
+        """At a tied timestamp the reset must not wipe same-time ups.
+
+        Per-observer events sort by (time, op) and ``"reset"`` orders
+        before ``"up"``, so a restart and the first re-discovery landing
+        on the same tick leave the discovery in the view.
+        """
+        hosts = ["a", "b"]
+        tr = make_trace(
+            [
+                (0.5, "member_up", "a", "b"),
+                (0.5, "member_up", "b", "a"),
+            ]
+        )
+        tr.emit(10.0, "view_reset", node="a")
+        tr.emit(10.0, "member_up", node="a", target="b")
+        alive = {h: [(0.0, 100.0)] for h in hosts}
+        series = dict(accuracy_timeseries(tr, hosts, alive, horizon=15.0))
+        assert all(v == 1.0 for t, v in series.items() if t >= 1.0)
+
+
+class TestViewChangeCurve:
+    def test_cumulative_counts_one_per_observer(self):
+        tr = make_trace(
+            [
+                (25.0, "member_down", "n1", "victim"),
+                (26.0, "member_down", "n2", "victim"),
+                (27.0, "member_down", "n1", "victim"),  # repeat: not recounted
+            ]
+        )
+        curve = view_change_curve(tr, "victim", ["n1", "n2"], since=20.0)
+        assert curve == [(5.0, 1), (6.0, 2)]
+
+    def test_tied_timestamps_each_get_a_point(self):
+        """Observers detecting on the same tick must all appear.
+
+        Simultaneous detections are the common case under the paper's
+        1-second heartbeat grid; the curve keeps one point per observer
+        (same x, increasing y), not one collapsed point.
+        """
+        tr = make_trace(
+            [
+                (25.0, "member_down", "n1", "victim"),
+                (25.0, "member_down", "n2", "victim"),
+                (25.0, "member_down", "n3", "victim"),
+                (26.0, "member_down", "n4", "victim"),
+            ]
+        )
+        curve = view_change_curve(tr, "victim", ["n1", "n2", "n3", "n4"], since=20.0)
+        assert curve == [(5.0, 1), (5.0, 2), (5.0, 3), (6.0, 2 + 2)]
+        # The final y equals the observer count: nobody double-counted.
+        assert curve[-1][1] == 4
+
+    def test_earliest_record_wins_even_out_of_order(self):
+        tr = make_trace(
+            [
+                (27.0, "member_down", "n1", "victim"),
+                (25.0, "member_down", "n1", "victim"),  # earlier, logged later
+            ]
+        )
+        curve = view_change_curve(tr, "victim", ["n1"], since=20.0)
+        assert curve == [(5.0, 1)]
+
+    def test_member_up_kind_and_watch_filter(self):
+        tr = make_trace(
+            [
+                (30.0, "member_up", "n1", "victim"),
+                (31.0, "member_up", "outsider", "victim"),
+                (32.0, "member_up", "n2", "other"),
+            ]
+        )
+        curve = view_change_curve(
+            tr, "victim", ["n1", "n2"], since=28.0, kind="member_up"
+        )
+        assert curve == [(2.0, 1)]

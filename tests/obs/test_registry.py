@@ -1,0 +1,140 @@
+"""Unit tests for the metrics registry and exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    to_json,
+    to_json_str,
+    to_prometheus,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.add(4)
+        assert c.get() == 5
+
+    def test_gauge(self):
+        g = Gauge()
+        g.set(3.0)
+        g.inc()
+        g.dec(0.5)
+        assert g.get() == 3.5
+
+    def test_histogram_buckets_upper_inclusive(self):
+        h = Histogram(bounds=(1.0, 5.0))
+        for v in (0.5, 1.0, 3.0, 5.0, 100.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == 109.5
+        # (bound, cumulative): 1.0 catches 0.5 and 1.0; 5.0 adds 3.0, 5.0.
+        assert h.cumulative() == [(1.0, 2), (5.0, 4), (float("inf"), 5)]
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+
+    def test_null_instruments_are_inert(self):
+        NULL_COUNTER.inc()
+        NULL_COUNTER.add(7)
+        NULL_GAUGE.set(2.0)
+        NULL_HISTOGRAM.observe(1.0)
+        assert NULL_COUNTER.get() == 0
+        assert NULL_GAUGE.get() == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total")
+        b = reg.counter("x_total")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_labeled_family_children(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("down_total", labels=("reason",))
+        fam.labels(reason="timeout").inc()
+        fam.labels(reason="timeout").inc()
+        fam.labels(reason="leave").inc()
+        assert fam.labels(reason="timeout").get() == 2
+        assert fam.labels(reason="leave").get() == 1
+
+    def test_wrong_label_names_raise(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("down_total", labels=("reason",))
+        with pytest.raises(ValueError):
+            fam.labels(cause="timeout")
+        with pytest.raises(ValueError):
+            fam.labels()
+
+    def test_len_and_contains(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total")
+        reg.gauge("b")
+        assert len(reg) == 2
+        assert "a_total" in reg
+        assert "missing" not in reg
+
+
+class TestExporters:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_tx_total", help="packets sent").add(12)
+        reg.gauge("repro_depth").set(3.0)
+        fam = reg.counter("repro_down_total", labels=("reason",))
+        fam.labels(reason="timeout").inc()
+        h = reg.histogram("repro_fanout", bounds=(1, 10))
+        h.observe(1)
+        h.observe(7)
+        return reg
+
+    def test_prometheus_text(self):
+        text = to_prometheus(self._registry())
+        assert "# HELP repro_tx_total packets sent" in text
+        assert "# TYPE repro_tx_total counter" in text
+        assert "repro_tx_total 12" in text
+        assert "repro_depth 3" in text
+        assert 'repro_down_total{reason="timeout"} 1' in text
+        assert 'repro_fanout_bucket{le="1"} 1' in text
+        assert 'repro_fanout_bucket{le="10"} 2' in text
+        assert 'repro_fanout_bucket{le="+Inf"} 2' in text
+        assert "repro_fanout_sum 8" in text
+        assert "repro_fanout_count 2" in text
+        assert text.endswith("\n")
+
+    def test_json_round_trips(self):
+        data = json.loads(to_json_str(self._registry()))
+        assert data == to_json(self._registry())
+        by_name = {fam["name"]: fam for fam in data}
+        assert by_name["repro_tx_total"]["samples"][0]["value"] == 12
+        hist = by_name["repro_fanout"]["samples"][0]
+        assert hist["count"] == 2
+        assert hist["buckets"][-1] == {"le": "+Inf", "count": 2}
+
+    def test_export_is_deterministic(self):
+        assert to_prometheus(self._registry()) == to_prometheus(self._registry())
+
+    def test_default_size_buckets_ascending(self):
+        assert list(DEFAULT_SIZE_BUCKETS) == sorted(set(DEFAULT_SIZE_BUCKETS))

@@ -1,0 +1,69 @@
+"""Unit tests for streaming trace sinks."""
+
+import pytest
+
+from repro.obs import JsonlTraceSink, RingBufferSink, read_jsonl_trace
+from repro.sim import Trace
+
+
+class TestJsonlTraceSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tr = Trace()
+        with JsonlTraceSink(path) as sink:
+            tr.attach_sink(sink)
+            tr.emit(1.0, "member_down", node="n1", target="n2", reason="timeout")
+            tr.emit(2.5, "member_up", node="n1", target="n2")
+        assert sink.records_written == 2
+        back = read_jsonl_trace(path)
+        assert [(r.time, r.kind, r.node, r.data) for r in back] == [
+            (r.time, r.kind, r.node, r.data) for r in tr
+        ]
+
+    def test_closed_sink_raises(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "t.jsonl")
+        sink.close()
+        tr = Trace()
+        tr.attach_sink(sink)
+        with pytest.raises(ValueError):
+            tr.emit(1.0, "x")
+
+    def test_streaming_without_retention(self, tmp_path):
+        """retain=False + sink: records reach disk, nothing accumulates."""
+        path = tmp_path / "t.jsonl"
+        tr = Trace(retain=False)
+        with JsonlTraceSink(path) as sink:
+            tr.attach_sink(sink)
+            for t in range(100):
+                tr.emit(float(t), "tick", node="n")
+        assert len(tr) == 0
+        assert sink.records_written == 100
+        assert len(read_jsonl_trace(path)) == 100
+
+
+class TestRingBufferSink:
+    def test_keeps_most_recent(self):
+        tr = Trace(retain=False)
+        ring = tr.attach_sink(RingBufferSink(capacity=3))
+        for t in range(5):
+            tr.emit(float(t), "tick")
+        assert len(ring) == 3
+        assert [r.time for r in ring] == [2.0, 3.0, 4.0]
+        assert ring.records_seen == 5
+        assert ring.dropped == 2
+
+    def test_records_by_kind(self):
+        ring = RingBufferSink(capacity=10)
+        tr = Trace(retain=False)
+        tr.attach_sink(ring)
+        tr.emit(1.0, "a")
+        tr.emit(2.0, "b")
+        tr.emit(3.0, "a")
+        assert [r.time for r in ring.records(kind="a")] == [1.0, 3.0]
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.records_seen == 3
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)

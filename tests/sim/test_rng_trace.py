@@ -106,3 +106,84 @@ class TestTrace:
         tr.emit(1.0, "a")
         tr.emit(2.0, "b")
         assert [r.kind for r in tr] == ["a", "b"]
+
+    def test_first_last_filter_emitting_node(self):
+        """Regression: ``node=`` used to be swallowed as a data filter.
+
+        No record carries ``data["node"]`` (the emitter goes in the
+        ``node`` field), so ``first(kind, node=...)`` silently matched
+        nothing.  It now filters the emitting node like ``records()``.
+        """
+        tr = Trace()
+        tr.emit(1.0, "member_down", node="n1", target="x")
+        tr.emit(2.0, "member_down", node="n2", target="x")
+        tr.emit(3.0, "member_down", node="n1", target="y")
+        assert tr.first("member_down", node="n1").time == 1.0
+        assert tr.last("member_down", node="n1").time == 3.0
+        assert tr.first("member_down", node="n2", target="x").time == 2.0
+        assert tr.first("member_down", node="n2", target="y") is None
+        assert tr.first("member_down", node="absent") is None
+
+    def test_subscribers_see_kind_filtered_emits(self):
+        """Regression: the ``kinds`` filter used to starve subscribers.
+
+        ``kinds`` restricts what the trace *stores*; live collectors
+        must still see every enabled emit.
+        """
+        tr = Trace(kinds={"member_down"})
+        seen = []
+        tr.subscribe(lambda rec: seen.append(rec.kind))
+        tr.emit(1.0, "member_down", node="a")
+        tr.emit(2.0, "packet_rx", node="a")
+        assert seen == ["member_down", "packet_rx"]
+        assert [r.kind for r in tr] == ["member_down"]
+
+    def test_disabled_trace_skips_subscribers(self):
+        tr = Trace(enabled=False)
+        seen = []
+        tr.subscribe(seen.append)
+        tr.emit(1.0, "x")
+        assert seen == []
+
+    def test_retain_false_streams_only(self):
+        tr = Trace(retain=False)
+        seen = []
+        tr.subscribe(seen.append)
+        tr.emit(1.0, "a")
+        tr.emit(2.0, "b")
+        assert len(tr) == 0
+        assert [r.kind for r in seen] == ["a", "b"]
+        assert tr.records(kind="a") == []
+
+    def test_count_and_kind_names(self):
+        tr = Trace()
+        tr.emit(1.0, "a")
+        tr.emit(2.0, "b")
+        tr.emit(3.0, "a")
+        assert tr.count("a") == 2
+        assert tr.count("missing") == 0
+        assert tr.kind_names() == ["a", "b"]
+        tr.clear()
+        assert tr.count("a") == 0
+
+    def test_indexed_window_matches_linear_scan(self):
+        """The bisected kind index must agree with a brute-force filter."""
+        tr = Trace()
+        for i in range(50):
+            tr.emit(float(i) / 2, "tick" if i % 3 else "tock", node=f"n{i % 4}")
+        for since, until in [(None, None), (5.0, None), (None, 20.0), (7.25, 18.0)]:
+            expect = [
+                r for r in tr
+                if r.kind == "tick"
+                and (since is None or r.time >= since)
+                and (until is None or r.time <= until)
+            ]
+            assert tr.records(kind="tick", since=since, until=until) == expect
+
+    def test_out_of_order_emits_fall_back_to_linear(self):
+        tr = Trace()
+        tr.emit(5.0, "a")
+        tr.emit(1.0, "a")  # breaks monotonicity
+        tr.emit(3.0, "a")
+        assert [r.time for r in tr.records(kind="a", since=2.0, until=4.0)] == [3.0]
+        assert [r.time for r in tr.records(kind="a")] == [5.0, 1.0, 3.0]
