@@ -9,9 +9,12 @@ Modules
     with suppression and backup fast path.
 :mod:`repro.core.updates`
     Update messages: sequence numbers, piggyback loss recovery, relays.
+:mod:`repro.core.roles`
+    The daemon's five thread roles (paper Fig. 10): announcer, receiver,
+    status tracker, informer, contender, over a shared ``NodeContext``.
 :mod:`repro.core.node`
-    :class:`HierarchicalNode` — the full daemon (announcer, receiver,
-    status tracker, contender, informer).
+    :class:`HierarchicalNode` — the facade wiring the roles together and
+    preserving the public protocol API.
 :mod:`repro.core.proxy`
     The membership proxy protocol for multi-data-center deployments.
 :mod:`repro.core.service_api`

@@ -1,0 +1,42 @@
+"""The hierarchical daemon's five thread roles (paper Fig. 10).
+
+================  ====================================================
+Announcer         :mod:`~repro.core.roles.announcer` — periodic
+                  heartbeats on every joined channel
+Receiver          :mod:`~repro.core.roles.receiver` — channel/unicast
+                  dispatch, heartbeat absorption (incl. the no-change
+                  fast path)
+Status Tracker    :mod:`~repro.core.roles.tracker` — deadline purges,
+                  relayed-entry backstops, death handling
+Informer          :mod:`~repro.core.roles.informer` — update
+                  origination/relay, sync server, tombstones
+Contender         :mod:`~repro.core.roles.contender` — election,
+                  backup designation, step-down
+================  ====================================================
+
+The roles share one :class:`~repro.core.roles.context.NodeContext`
+(directory, group views, update streams — the daemon's shared memory)
+and reach the environment only through
+:class:`~repro.runtime.ports.NodeRuntime`, so each role is unit-testable
+against a fake runtime with no simulator (``tests/core/roles``).
+:class:`~repro.core.node.HierarchicalNode` is the facade that wires them
+together and preserves the public protocol API.
+"""
+
+from repro.core.roles.announcer import Announcer
+from repro.core.roles.contender import Contender
+from repro.core.roles.context import MemberHost, NodeContext
+from repro.core.roles.informer import Informer
+from repro.core.roles.receiver import HMEMBER_PORT, Receiver
+from repro.core.roles.tracker import Tracker
+
+__all__ = [
+    "Announcer",
+    "Contender",
+    "Informer",
+    "MemberHost",
+    "NodeContext",
+    "Receiver",
+    "Tracker",
+    "HMEMBER_PORT",
+]

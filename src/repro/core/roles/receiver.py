@@ -1,0 +1,177 @@
+"""Receiver role: channel and unicast dispatch (Fig. 10).
+
+The receiver demultiplexes everything that arrives at the node — one
+handler closure per joined channel plus the ``hmember`` unicast port —
+and absorbs heartbeats, including the protocol hot-path engine's
+identity-based no-change fast path.  Updates are handed to the
+:class:`~repro.core.roles.informer.Informer`; election-relevant
+observations poke the :class:`~repro.core.roles.contender.Contender`.
+
+Observability: ``hb_rx``, ``hb_rx_fast`` and ``sync_resps`` increment
+here and nowhere else.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.updates import UpdateOp
+
+if TYPE_CHECKING:
+    from repro.core.heartbeat import Heartbeat
+    from repro.net.packet import Packet
+    from repro.runtime.ports import PacketHandler
+    from repro.core.roles.context import NodeContext
+
+__all__ = ["Receiver", "HMEMBER_PORT"]
+
+#: The hierarchical protocol's unicast port (sync requests/responses).
+HMEMBER_PORT = "hmember"
+
+
+class Receiver:
+    """Dispatches deliveries into the other roles."""
+
+    def __init__(self, ctx: "NodeContext") -> None:
+        self.ctx = ctx
+
+    def channel_handler(self, level: int) -> "PacketHandler":
+        # Flat dispatch: one closure frame per delivery instead of three.
+        # Heartbeats dominate steady-state receive traffic, so the kind
+        # test orders them first.
+        ctx = self.ctx
+        node = ctx.node
+        groups = ctx.groups
+
+        def handler(packet: "Packet") -> None:
+            if not node.running or level not in groups:
+                return
+            if packet.kind == "heartbeat":
+                self.on_heartbeat(packet.payload, level)
+            elif packet.kind == "update":
+                ctx.informer.on_update(packet.payload, level)
+
+        return handler
+
+    # ------------------------------------------------------------------
+    # Multicast: heartbeats
+    # ------------------------------------------------------------------
+    def on_heartbeat(self, hb: "Heartbeat", level: int) -> None:
+        ctx = self.ctx
+        group = ctx.groups[level]
+        now = ctx.now
+        obs = ctx.runtime.obs
+        obs.hb_rx.inc()
+        if ctx.use_fast_path:
+            nid = hb.record.node_id
+            peer = group.peers.get(nid)
+            directory = ctx.directory
+            if (
+                peer is not None
+                and hb is peer.last_hb
+                and directory.refresh(nid, now, relayed_by=None)
+            ):
+                # No-change fast path: the sender interned this payload, so
+                # nothing about the peer moved since its last heartbeat.
+                # Freshness is bumped (peer + directory + vouch), the
+                # failover/lost-update checks still run (they depend on
+                # *our* state, not the sender's), and record absorption is
+                # skipped entirely.  Election re-evaluation is skipped only
+                # while a leader is in sight and we are not one ourselves —
+                # the one configuration where an unchanged heartbeat
+                # provably cannot move the election clock (the leaderless
+                # countdown and the two-leaders rule both need a state
+                # change or our own flag, and those route through the slow
+                # path or the status tick).
+                obs.hb_rx_fast.inc()
+                if ctx.tombstones:
+                    ctx.tombstones.pop(nid, None)
+                peer.last_heard = now
+                if hb.is_leader:
+                    directory.vouch(nid, now)
+                    if (
+                        group.last_dead_leader is not None
+                        and group.last_dead_leader != nid
+                    ):
+                        directory.reattribute(group.last_dead_leader, nid)
+                        group.last_dead_leader = None
+                elif level >= 1:
+                    directory.vouch(nid, now)
+                if ctx.updates.behind(nid, level, hb.update_seq):
+                    ctx.maybe_sync(nid)
+                if group.i_am_leader or not group.leader_visible():
+                    ctx.contender.evaluate(level)
+                return
+        was_known = hb.node_id in group.peers
+        # Hearing a node directly is proof of life: clear any certificate.
+        ctx.tombstones.pop(hb.node_id, None)
+        peer_is_new = group.note_heartbeat(hb, now)
+        newly_in_directory = hb.node_id not in ctx.directory
+        ctx.directory.upsert(hb.record, now)
+        ctx.directory.refresh(hb.node_id, now, relayed_by=None)
+        if hb.is_leader or level >= 1:
+            # An alive relay point keeps everything it relayed alive: the
+            # flag-flying leader of this group, or any participant of a
+            # level >= 1 channel (who is by construction the representative
+            # of some lower-level subtree).
+            ctx.directory.vouch(hb.node_id, now)
+        if hb.is_leader:
+            if group.last_dead_leader is not None and group.last_dead_leader != hb.node_id:
+                # Failover completed: the new leader inherits the dead
+                # leader's vouched entries.
+                ctx.directory.reattribute(group.last_dead_leader, hb.node_id)
+                group.last_dead_leader = None
+        if newly_in_directory:
+            ctx.emit_member_up(hb.node_id)
+        if peer_is_new and ctx.is_relay_point():
+            # "A group leader will also inform all other groups when a new
+            # node joins" — any relay point announces a newly-heard direct
+            # peer to the rest of its channels; covers first joins,
+            # restarts (higher incarnation counts as new), and peers
+            # returning after a healed partition.
+            ctx.informer.originate(
+                [UpdateOp("add", hb.node_id, hb.record.incarnation, hb.record)]
+            )
+        if not was_known:
+            # Bootstrap triggers: a group leader pulls a newcomer's state;
+            # a newcomer pulls the leader's state when it spots the flag.
+            if group.i_am_leader or hb.is_leader:
+                ctx.maybe_sync(hb.node_id)
+        elif ctx.updates.behind(hb.node_id, level, hb.update_seq):
+            # The heartbeat advertises updates we never received (the lost
+            # packet was the sender's last): poll for a directory sync.
+            # The stream is marked caught-up only when the response lands.
+            ctx.maybe_sync(hb.node_id)
+        # React immediately to leader conflicts/appearance.
+        ctx.contender.evaluate(level)
+
+    # ------------------------------------------------------------------
+    # Unicast: the sync protocol's wire face
+    # ------------------------------------------------------------------
+    def on_unicast(self, packet: "Packet") -> None:
+        ctx = self.ctx
+        if not ctx.node.running:
+            return
+        if packet.kind == "sync_req":
+            ctx.informer.merge_snapshot(packet.payload["snapshot"], via=packet.src)
+            snapshot = [r for r in ctx.directory.records() if r.node_id != packet.src]
+            seqs = {level: ctx.updates.current_seq(level) for level in ctx.groups}
+            ctx.runtime.send(
+                packet.src,
+                kind="sync_resp",
+                payload={"snapshot": snapshot, "seqs": seqs},
+                size=ctx.config.message_size(max(1, len(snapshot))),
+                port=HMEMBER_PORT,
+            )
+        elif packet.kind == "sync_resp":
+            ctx.runtime.obs.sync_resps.inc()
+            ctx.pending_syncs.discard(packet.src)
+            ctx.informer.merge_snapshot(
+                packet.payload["snapshot"], via=packet.src, prune_relayer=True
+            )
+            # The snapshot subsumes every update the sender ever sent: mark
+            # its streams caught-up (only now — a lost response must leave
+            # us "behind" so the next heartbeat retriggers the poll).
+            for level, seq in packet.payload.get("seqs", {}).items():
+                if level in ctx.groups:
+                    ctx.updates.note_synced(packet.src, level, seq)

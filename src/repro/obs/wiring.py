@@ -13,6 +13,33 @@ an :class:`ObsHandle` for sampling kernel gauges and exporting.
 Instrumentation never draws randomness, never schedules protocol work,
 and never mutates protocol state, so enabling it cannot move a single
 trace event (covered by the determinism-guard tests).
+
+Each protocol-engine instrument increments at exactly **one** site, on
+the role boundary that owns the event (``repro.core.roles``; the fabric
+and transport instruments live in ``repro.net``):
+
+======================  ===============================================
+instrument              owning module (single increment site)
+======================  ===============================================
+``hb_tx``               ``roles.announcer`` — heartbeat publish
+``hb_rx``               ``roles.receiver`` — channel dispatch
+``hb_rx_fast``          ``roles.receiver`` — interned no-change path
+``sync_resps``          ``roles.receiver`` — sync response arrival
+``updates_tx``          ``roles.informer`` — update publish
+``updates_rx``          ``roles.informer`` — update arrival
+``update_ops``          ``roles.informer`` — ops applied
+``piggyback_recovered`` ``roles.informer`` — gap recovery
+``syncs_sent``          ``roles.informer`` — sync request (post limit)
+``sync_snapshot``       ``roles.informer`` — snapshot size histogram
+``elections``           ``roles.contender`` — leadership won
+``stepdowns``           ``roles.contender`` — two-leaders rule
+``member_up``           ``protocols.base`` — shared emit helper
+``member_down``         ``protocols.base`` — shared emit helper
+``view_resets``         ``protocols.base`` — daemon (re)start
+======================  ===============================================
+
+The baselines (all-to-all, gossip) go through the shared
+``protocols.base`` helpers only, so their counts stay comparable.
 """
 
 from __future__ import annotations

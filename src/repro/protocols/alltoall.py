@@ -15,8 +15,6 @@ packets per period — the O(n²) aggregate traffic of Fig. 2/Fig. 11.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.net.packet import Packet
 from repro.protocols.base import MembershipNode
 
@@ -29,31 +27,21 @@ ALL_CHANNEL = "all-to-all"
 class AllToAllNode(MembershipNode):
     """One node of the all-to-all scheme."""
 
-    def start(self) -> None:
-        if self.running:
-            return
-        self.running = True
-        self.incarnation += 1
-        self.directory.clear()
-        self.directory.upsert(self.self_record(), self.network.now)
-        self._emit_view_reset()
-        self.network.subscribe(ALL_CHANNEL, self.node_id, self._on_packet)
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    def _on_start(self) -> None:
+        self.runtime.subscribe(ALL_CHANNEL, self._on_packet)
         # Desynchronise senders like real daemons started at different
         # moments; the offset is deterministic per (seed, node).
         phase = self.rng.uniform(0, self.config.heartbeat_period)
-        self._hb_timer = self.network.sim.call_after(phase, self._heartbeat_tick)
-        self._check_timer = self.network.sim.call_after(
-            self.config.heartbeat_period, self._check_tick
+        self.runtime.call_every(
+            self.config.heartbeat_period, self._heartbeat_tick, first_delay=phase
         )
+        self.runtime.call_every(self.config.heartbeat_period, self._check_tick)
 
-    def stop(self) -> None:
-        if not self.running:
-            return
-        self.running = False
-        self.network.unsubscribe(ALL_CHANNEL, self.node_id)
-        self._hb_timer.cancel()
-        self._check_timer.cancel()
-        self.directory.clear()
+    def _on_stop(self) -> None:
+        self.runtime.unsubscribe(ALL_CHANNEL)
 
     # ------------------------------------------------------------------
     # Announcer: periodic heartbeat multicast
@@ -61,16 +49,12 @@ class AllToAllNode(MembershipNode):
     def _heartbeat_tick(self) -> None:
         if not self.running:
             return
-        self.network.multicast(
-            self.node_id,
+        self.runtime.publish(
             ALL_CHANNEL,
             ttl=self.config.max_ttl,
             kind="heartbeat",
             payload=self.self_record(),
             size=self.config.message_size(1),
-        )
-        self._hb_timer = self.network.sim.call_after(
-            self.config.heartbeat_period, self._heartbeat_tick
         )
 
     # ------------------------------------------------------------------
@@ -81,8 +65,8 @@ class AllToAllNode(MembershipNode):
             return
         record = packet.payload
         is_new = record.node_id not in self.directory
-        self.directory.upsert(record, self.network.now)
-        self.directory.refresh(record.node_id, self.network.now)
+        self.directory.upsert(record, self.runtime.now)
+        self.directory.refresh(record.node_id, self.runtime.now)
         if is_new:
             self._emit_member_up(record.node_id)
 
@@ -92,19 +76,15 @@ class AllToAllNode(MembershipNode):
     def _check_tick(self) -> None:
         if not self.running:
             return
-        dead = self.directory.purge_stale(self.network.now, self.config.fail_timeout)
+        dead = self.directory.purge_stale(self.runtime.now, self.config.fail_timeout)
         for node_id in dead:
             self._emit_member_down(node_id)
-        self._check_timer = self.network.sim.call_after(
-            self.config.heartbeat_period, self._check_tick
-        )
 
     def _self_changed(self) -> None:
         super()._self_changed()
         if self.running:
             # Push the change immediately instead of waiting a period.
-            self.network.multicast(
-                self.node_id,
+            self.runtime.publish(
                 ALL_CHANNEL,
                 ttl=self.config.max_ttl,
                 kind="heartbeat",

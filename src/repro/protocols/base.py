@@ -9,6 +9,17 @@ about itself, and emits the trace events the experiment harness keys on:
 ``member_down``           observer ``node`` removed ``target`` (failure/purge)
 ========================  =====================================================
 
+Protocol code never touches ``repro.sim`` or ``repro.net`` directly: each
+node owns a :class:`~repro.runtime.ports.NodeRuntime` (here the
+:class:`~repro.runtime.sim.SimRuntime` adapter) for its clock, timers,
+channels, unicast and observability.  The daemon lifecycle is written
+once, in :meth:`MembershipNode.start` / :meth:`MembershipNode.stop`:
+start bumps the incarnation, activates the runtime (new timer epoch),
+resets per-run state and publishes the self record; stop silences the
+node, cancels every registered timer wholesale and drops the view.
+Schemes fill in the :meth:`_reset_run_state` / :meth:`_on_start` /
+:meth:`_on_stop` hooks.
+
 Packet sizing follows the paper's measurement: "The average packet size
 carrying the membership information of each node is measured as 228 bytes"
 (Section 6.2), so a message carrying *k* member descriptions costs
@@ -18,13 +29,14 @@ carrying the membership information of each node is measured as 228 bytes"
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Type
 
 from repro.cluster.directory import Directory, NodeRecord
 from repro.cluster.machine import MachineInfo
 from repro.cluster.service import ServiceSpec
 from repro.net.network import Network
+from repro.runtime import NodeRuntime, SimRuntime
 
 __all__ = ["ProtocolConfig", "MembershipNode", "deploy"]
 
@@ -61,14 +73,14 @@ class ProtocolConfig:
 class MembershipNode(ABC):
     """One node's protocol stack (daemon process in the paper's terms).
 
-    Subclasses implement :meth:`start` / :meth:`stop` and keep
-    ``self.directory`` equal to the node's current view.  ``stop`` models a
-    daemon kill: all timers are cancelled and state dropped; a subsequent
-    ``start`` re-joins from scratch with a bumped incarnation.
+    Subclasses implement the lifecycle hooks and keep ``self.directory``
+    equal to the node's current view.  ``stop`` models a daemon kill: all
+    timers are cancelled and state dropped; a subsequent ``start``
+    re-joins from scratch with a bumped incarnation.
     """
 
     #: Enable the protocol hot-path engine (interned self records and
-    #: heartbeats, deadline-heap purges, recurring timers).  Class default;
+    #: heartbeats, deadline-heap purges).  Class default;
     #: :class:`~repro.core.node.HierarchicalNode` exposes it per instance.
     #: Flip only before ``start()`` — the legacy path exists for A/B runs.
     use_fast_path: bool = True
@@ -90,7 +102,8 @@ class MembershipNode(ABC):
         self.incarnation = 0
         self.directory = Directory(node_id)
         self.running = False
-        self.rng = network.rng.stream(f"proto.{node_id}")
+        self.runtime: NodeRuntime = SimRuntime(network, node_id)
+        self.rng = self.runtime.rng_stream(f"proto.{node_id}")
         self._self_record_cache: Optional[NodeRecord] = None
 
     # ------------------------------------------------------------------
@@ -147,18 +160,44 @@ class MembershipNode(ABC):
     def _self_changed(self) -> None:
         """Hook: the published self-record changed while running."""
         self._self_record_cache = None
-        self.directory.upsert(self.self_record(), self.network.now)
+        self.directory.upsert(self.self_record(), self.runtime.now)
 
     # ------------------------------------------------------------------
-    # Lifecycle
+    # Lifecycle (written once; schemes fill in the hooks)
     # ------------------------------------------------------------------
-    @abstractmethod
     def start(self) -> None:
-        """Join the protocol (bind channels/ports, arm timers)."""
+        """Join the protocol: new incarnation, fresh view, scheme hooks."""
+        if self.running:
+            return
+        self.running = True
+        self.incarnation += 1
+        self.runtime.activate()
+        self._reset_run_state()
+        self.directory.clear()
+        self.directory.upsert(self.self_record(), self.runtime.now)
+        self._emit_view_reset()
+        self._on_start()
+
+    def stop(self) -> None:
+        """Kill the daemon: go silent, cancel all timers, drop state."""
+        if not self.running:
+            return
+        self.running = False
+        self._on_stop()
+        self.runtime.deactivate()
+        self.directory.clear()
+
+    def _reset_run_state(self) -> None:
+        """Hook: forget scheme state from a previous run (before the view
+        is rebuilt).  Runs with ``running``/``incarnation`` already set."""
 
     @abstractmethod
-    def stop(self) -> None:
-        """Kill the daemon: drop state and go silent."""
+    def _on_start(self) -> None:
+        """Hook: bind channels/ports and arm timers for the new run."""
+
+    @abstractmethod
+    def _on_stop(self) -> None:
+        """Hook: unbind channels/ports; timers die with the runtime."""
 
     # ------------------------------------------------------------------
     # View helpers used by experiments
@@ -179,20 +218,16 @@ class MembershipNode(ABC):
         Metric reconstruction needs it: without the reset marker a
         restarted node would appear to still hold its pre-crash view.
         """
-        self.network.obs.view_resets.inc()
-        self.network.trace.emit(self.network.now, "view_reset", node=self.node_id)
+        self.runtime.obs.view_resets.inc()
+        self.runtime.emit("view_reset")
 
     def _emit_member_up(self, target: str) -> None:
-        self.network.obs.member_up.inc()
-        self.network.trace.emit(
-            self.network.now, "member_up", node=self.node_id, target=target
-        )
+        self.runtime.obs.member_up.inc()
+        self.runtime.emit("member_up", target=target)
 
     def _emit_member_down(self, target: str, reason: str = "timeout") -> None:
-        self.network.obs.member_down.labels(reason=reason).inc()
-        self.network.trace.emit(
-            self.network.now, "member_down", node=self.node_id, target=target, reason=reason
-        )
+        self.runtime.obs.member_down.labels(reason=reason).inc()
+        self.runtime.emit("member_down", target=target, reason=reason)
 
 
 def deploy(

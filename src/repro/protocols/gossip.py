@@ -25,11 +25,10 @@ independently, spread by the propagation of the last counter increments
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
-from repro.cluster.directory import NodeRecord
 from repro.net.packet import Packet
-from repro.protocols.base import MembershipNode, ProtocolConfig
+from repro.protocols.base import MembershipNode
 
 __all__ = ["GossipNode", "gossip_fail_time", "GOSSIP_PORT"]
 
@@ -92,31 +91,23 @@ class GossipNode(MembershipNode):
         return 2.0 * self.t_fail
 
     # ------------------------------------------------------------------
-    # Lifecycle
+    # Lifecycle hooks
     # ------------------------------------------------------------------
-    def start(self) -> None:
-        if self.running:
-            return
-        self.running = True
-        self.incarnation += 1
-        self.directory.clear()
+    def _reset_run_state(self) -> None:
         self._counters = {self.node_id: 0}
-        self._last_increase = {self.node_id: self.network.now}
+        self._last_increase = {self.node_id: self.runtime.now}
         self._dead.clear()
         self._dead_since.clear()
-        self.directory.upsert(self.self_record(), self.network.now)
-        self._emit_view_reset()
-        self.network.bind(self.node_id, GOSSIP_PORT, self._on_packet)
-        phase = self.rng.uniform(0, self.config.heartbeat_period)
-        self._timer = self.network.sim.call_after(phase, self._gossip_tick)
 
-    def stop(self) -> None:
-        if not self.running:
-            return
-        self.running = False
-        self.network.transport.unbind(self.node_id, GOSSIP_PORT)
-        self._timer.cancel()
-        self.directory.clear()
+    def _on_start(self) -> None:
+        self.runtime.bind(GOSSIP_PORT, self._on_packet)
+        phase = self.rng.uniform(0, self.config.heartbeat_period)
+        self.runtime.call_every(
+            self.config.heartbeat_period, self._gossip_tick, first_delay=phase
+        )
+
+    def _on_stop(self) -> None:
+        self.runtime.unbind(GOSSIP_PORT)
         self._counters.clear()
         self._last_increase.clear()
 
@@ -126,7 +117,7 @@ class GossipNode(MembershipNode):
     def _gossip_tick(self) -> None:
         if not self.running:
             return
-        now = self.network.now
+        now = self.runtime.now
         self._counters[self.node_id] += 1
         self._last_increase[self.node_id] = now
         self._expire(now)
@@ -138,17 +129,13 @@ class GossipNode(MembershipNode):
             }
             size = self.config.message_size(len(view))
             for target in targets:
-                self.network.unicast(
-                    self.node_id,
+                self.runtime.send(
                     target,
                     kind="gossip",
                     payload={"view": view, "sender": self.node_id},
                     size=size,
                     port=GOSSIP_PORT,
                 )
-        self._timer = self.network.sim.call_after(
-            self.config.heartbeat_period, self._gossip_tick
-        )
 
     def _pick_targets(self) -> List[str]:
         # Known members plus the configured seed list: gossiping only to
@@ -169,7 +156,7 @@ class GossipNode(MembershipNode):
     def _on_packet(self, packet: Packet) -> None:
         if not self.running or packet.kind != "gossip":
             return
-        now = self.network.now
+        now = self.runtime.now
         for nid, (counter, record) in packet.payload["view"].items():
             if nid == self.node_id:
                 continue

@@ -1,0 +1,27 @@
+"""The node runtime layer: ports protocol code programs against.
+
+The paper's daemon runs on a real operating system — threads, UDP
+sockets, multicast group membership, wall-clock timers.  This
+reproduction runs the same protocol logic over a discrete-event
+simulator.  ``repro.runtime`` is the seam between the two: protocol
+code (``repro.core.roles``, ``repro.protocols``) talks exclusively to
+the :class:`NodeRuntime` ports — clock, one-shot and recurring timers,
+multicast channel subscribe/publish, unicast bind/send, trace and
+instrument emission — and :class:`SimRuntime` is the one adapter that
+implements those ports over ``repro.sim`` / ``repro.net``.
+
+A future real-socket backend replaces :class:`SimRuntime` without
+touching a line of protocol logic; conversely, protocol changes never
+reach into fabric or kernel internals.
+
+Determinism contract: :class:`SimRuntime` schedules exactly one kernel
+event per one-shot and one recurring-timer registration per series, in
+the order the ports are called, so a protocol stack moved onto the
+runtime produces byte-identical seeded traces (guarded by the golden
+hashes in ``tests/integration/test_determinism_guard.py``).
+"""
+
+from repro.runtime.ports import NodeRuntime, PacketHandler, TimerHandle
+from repro.runtime.sim import SimRuntime
+
+__all__ = ["NodeRuntime", "PacketHandler", "TimerHandle", "SimRuntime"]

@@ -1,0 +1,167 @@
+"""The transport-agnostic ports a membership daemon is written against.
+
+:class:`NodeRuntime` is one node's execution environment.  It bundles
+
+* a **clock** (:attr:`NodeRuntime.now`);
+* **timers** — :meth:`NodeRuntime.call_once` one-shots that are
+  registered, cancelled wholesale on :meth:`NodeRuntime.deactivate`, and
+  guarded by the activation *epoch* so a timer scheduled in one life of
+  the daemon can never fire into the next; and
+  :meth:`NodeRuntime.call_every` recurring timers with the
+  self-reschedule ordering contract of
+  :class:`repro.sim.engine.RecurringTimer`;
+* **multicast channels** — subscribe/unsubscribe/publish, scoped to this
+  node's identity;
+* **unicast datagrams** — per-port bind/unbind/send;
+* **observability** — the shared instrument bundle (:attr:`obs`) and
+  structured trace emission stamped with this node's id (:meth:`emit`).
+
+Epoch semantics: :meth:`activate` starts a new life (a daemon start) and
+:meth:`bump_epoch` invalidates pending one-shots mid-life — protocol
+code calls it when the node's incarnation moves without a restart (the
+SWIM-style refutation of a false death rumor), because a one-shot
+scheduled against the old incarnation must not act on the new one's
+state.  Recurring timers are *not* epoch-guarded; they belong to the
+life, not the incarnation, and die with :meth:`deactivate`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Optional, Protocol
+
+if TYPE_CHECKING:
+    import random
+
+    from repro.net.packet import Packet
+    from repro.obs.wiring import Instruments
+
+__all__ = ["NodeRuntime", "PacketHandler", "TimerHandle"]
+
+#: A channel or port delivery callback.
+PacketHandler = Callable[["Packet"], None]
+
+
+class TimerHandle(Protocol):
+    """Cancellable handle returned by the timer ports."""
+
+    cancelled: bool
+
+    def cancel(self) -> None:
+        """Prevent (further) firings.  Idempotent."""
+
+
+class NodeRuntime(ABC):
+    """One node's execution environment (see module docstring)."""
+
+    #: The identity every send/subscribe/emit is scoped to.
+    node_id: str
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds."""
+
+    # ------------------------------------------------------------------
+    # Lifecycle / epochs
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def active(self) -> bool:
+        """True between :meth:`activate` and :meth:`deactivate`."""
+
+    @abstractmethod
+    def activate(self) -> None:
+        """Begin a new life: bump the epoch and accept timers."""
+
+    @abstractmethod
+    def deactivate(self) -> None:
+        """End the current life and cancel every registered timer."""
+
+    @abstractmethod
+    def bump_epoch(self) -> None:
+        """Invalidate pending one-shots without ending the life."""
+
+    @property
+    @abstractmethod
+    def live_timers(self) -> int:
+        """Registered, not-yet-cancelled timers (one-shot + recurring)."""
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def call_once(
+        self, delay: float, fn: Callable[..., object], *args: object
+    ) -> TimerHandle:
+        """One-shot ``fn(*args)`` after ``delay``, bound to this life.
+
+        The callback is dropped (not an error) when the runtime has been
+        deactivated or the epoch has moved since scheduling.
+        """
+
+    @abstractmethod
+    def call_every(
+        self,
+        period: float,
+        fn: Callable[..., object],
+        *args: object,
+        first_delay: Optional[float] = None,
+    ) -> TimerHandle:
+        """Recurring ``fn(*args)`` every ``period``; cancelled on deactivate."""
+
+    # ------------------------------------------------------------------
+    # Multicast channels
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def subscribe(self, channel: str, handler: PacketHandler) -> None:
+        """Join ``channel``; ``handler`` receives every delivery."""
+
+    @abstractmethod
+    def unsubscribe(self, channel: str) -> None:
+        """Leave ``channel``."""
+
+    @abstractmethod
+    def publish(
+        self, channel: str, ttl: int, kind: str, payload: object, size: int
+    ) -> int:
+        """TTL-scoped multicast from this node; returns deliveries scheduled."""
+
+    # ------------------------------------------------------------------
+    # Unicast datagrams
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def bind(self, port: str, handler: PacketHandler) -> None:
+        """Receive unicast datagrams addressed to this node on ``port``."""
+
+    @abstractmethod
+    def unbind(self, port: str) -> None:
+        """Stop receiving on ``port``."""
+
+    @abstractmethod
+    def send(
+        self, dst: str, kind: str, payload: object, size: int, port: str = "membership"
+    ) -> bool:
+        """Unicast a datagram to a host or virtual address."""
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def obs(self) -> "Instruments":
+        """The deployment's shared instrument bundle (no-op by default)."""
+
+    @abstractmethod
+    def emit(self, kind: str, **data: object) -> None:
+        """Emit a structured trace event stamped ``(now, kind, node_id)``."""
+
+    # ------------------------------------------------------------------
+    # Randomness
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def rng_stream(self, name: str) -> "random.Random":
+        """A named deterministic RNG stream from the deployment registry."""

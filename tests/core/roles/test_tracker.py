@@ -1,0 +1,126 @@
+"""Tracker role in isolation: purge, vouch cascade, death handling.
+
+These run one daemon's roles over the fake runtime — no simulator, no
+network, no other nodes.  The scenarios poke exactly the state a real
+run would build (group peers, directory entries, vouched attributions)
+and assert on the tracker's decisions alone.
+"""
+
+from repro.cluster.directory import NodeRecord
+
+
+class TestPurge:
+    def test_silent_peer_is_purged_and_announced(self, daemon):
+        daemon.ctx.groups[0].i_am_leader = True  # relay point: must originate
+        daemon.add_peer("p1", last_heard=0.0)
+        daemon.runtime.advance(daemon.config.level_timeout(0) + 1.0)
+        daemon.ctx.tracker.check_tick()
+        assert "p1" not in daemon.directory
+        assert ("p1", "timeout") in daemon.node.member_down
+        # The removal rode an update multicast (relay point duty)...
+        kinds = [kind for (_, _, kind, _, _) in daemon.runtime.published]
+        assert "update" in kinds
+        # ...and left a death certificate guarding the incarnation.
+        assert daemon.ctx.tombstones["p1"][0] == 1
+
+    def test_fresh_peer_survives_the_tick(self, daemon):
+        daemon.add_peer("p1")
+        daemon.runtime.advance(1.0)
+        daemon.ctx.tracker.check_tick()
+        assert "p1" in daemon.directory
+        assert daemon.node.member_down == []
+
+    def test_plain_member_purges_silently(self, daemon):
+        # Not a relay point: the entry goes, but no remove rumor is
+        # multicast (that is the leader's job).
+        daemon.add_peer("p1", last_heard=0.0)
+        published_before = len(daemon.runtime.published)
+        daemon.runtime.advance(daemon.config.level_timeout(0) + 1.0)
+        daemon.ctx.tracker.check_tick()
+        assert "p1" not in daemon.directory
+        assert len(daemon.runtime.published) == published_before
+
+    def test_pending_syncs_retried_each_tick(self, daemon):
+        daemon.ctx.pending_syncs.add("p9")
+        daemon.ctx.tracker.check_tick()
+        dsts = [dst for (dst, kind, _, _, _) in daemon.runtime.sent if kind == "sync_req"]
+        assert dsts == ["p9"]
+        # Still pending until a sync_resp lands.
+        assert "p9" in daemon.ctx.pending_syncs
+
+
+class TestVouchCascade:
+    def test_dead_relayer_takes_its_entries_down(self, daemon):
+        daemon.ctx.groups[0].i_am_leader = True
+        daemon.add_peer("relay", last_heard=0.0)
+        # Two entries vouched by the relay (second-hand knowledge).
+        now = daemon.runtime.now
+        daemon.directory.upsert(NodeRecord("far1", 1), now, relayed_by="relay")
+        daemon.directory.upsert(NodeRecord("far2", 1), now, relayed_by="relay")
+        daemon.runtime.advance(daemon.config.level_timeout(0) + 1.0)
+        daemon.ctx.tracker.check_tick()
+        # The paper's timeout protocol: "membership information that is
+        # relayed by the dead node is also timeouted."
+        assert "relay" not in daemon.directory
+        assert "far1" not in daemon.directory
+        assert "far2" not in daemon.directory
+        reasons = dict(daemon.node.member_down)
+        assert reasons["far1"] == "relayer_died"
+        # Every casualty gets a death certificate.
+        assert set(daemon.ctx.tombstones) == {"relay", "far1", "far2"}
+
+    def test_vouched_entry_survives_while_relayer_lives(self, daemon):
+        daemon.add_peer("relay")
+        daemon.directory.upsert(
+            NodeRecord("far1", 1), daemon.runtime.now, relayed_by="relay"
+        )
+        daemon.runtime.advance(2.0)
+        daemon.ctx.tracker.check_tick()
+        assert "far1" in daemon.directory
+
+    def test_stale_relayed_backstop_purges_unvouched_entry(self, daemon):
+        # Nobody vouches for far1 for a long time: the backstop reaps it
+        # even though its relayer was never declared dead.
+        daemon.directory.upsert(NodeRecord("far1", 3), 0.0, relayed_by="ghost")
+        daemon.runtime.advance(daemon.config.relayed_timeout + 1.0)
+        daemon.ctx.tracker.check_tick()
+        assert "far1" not in daemon.directory
+        assert ("far1", "relayed_timeout") in daemon.node.member_down
+        # The certificate carries the incarnation the remove op guards on.
+        assert daemon.ctx.tombstones["far1"][0] == 3
+
+
+class TestDeathHandling:
+    def test_backup_takeover_is_immediate(self, daemon):
+        me = daemon.node.node_id
+        daemon.add_peer("boss", is_leader=True, last_heard=0.0, backup=me)
+        daemon.add_peer("other", last_heard=0.0)
+        daemon.runtime.advance(daemon.config.level_timeout(0) + 1.0)
+        daemon.ctx.tracker.check_tick()
+        # Backup fast path: no election delay, we fly the flag now.
+        assert daemon.ctx.groups[0].i_am_leader
+        assert any(kind == "leader_elected" for (_, kind, _) in daemon.runtime.emitted)
+
+    def test_abdication_is_not_death(self, daemon):
+        # Peer silent at level 1 but freshly heard at level 0: it stepped
+        # down from leadership, it did not die — the directory entry stays.
+        daemon.ctx.participate(1)
+        daemon.add_peer("peer", level=0)  # fresh at level 0
+        stale = daemon.runtime.now - daemon.config.level_timeout(1) - 1.0
+        daemon.add_peer("peer", level=1, last_heard=stale)
+        peer = daemon.ctx.groups[1].peers["peer"]
+        daemon.ctx.tracker.handle_peer_death(1, peer)
+        assert "peer" in daemon.directory
+        assert daemon.node.member_down == []
+
+    def test_death_forgets_update_streams_and_pending_sync(self, daemon):
+        daemon.add_peer("p1", last_heard=0.0)
+        daemon.ctx.pending_syncs.add("p1")
+        daemon.runtime.advance(daemon.config.level_timeout(0) + 1.0)
+        peer = daemon.ctx.groups[0].purge_silent(
+            daemon.runtime.now, daemon.config.level_timeout(0)
+        )[0]
+        daemon.ctx.tracker.handle_peer_death(0, peer)
+        # No retry loop for a dead peer, no stale dedup state.
+        assert "p1" not in daemon.ctx.pending_syncs
+        assert "p1" not in daemon.directory

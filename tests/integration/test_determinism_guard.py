@@ -8,8 +8,9 @@ and repeated runs are bit-for-bit reproducible.
   batched per-delay-bucket events, route caches
   (``MulticastFabric.use_fast_path``).
 * **Protocol engine** (PR: protocol hot path) — interned heartbeats with
-  the identity-based no-change receive path, deadline-heap directory
-  purges, recurring timers (``HierarchicalNode(use_fast_path=...)``).
+  the identity-based no-change receive path and deadline-heap directory
+  purges (``HierarchicalNode(use_fast_path=...)``); recurring timers are
+  now unconditional, owned by the ``repro.runtime`` layer.
 
 This is the contract documented in docs/PERFORMANCE.md; if an
 optimization ever changes scheduling order, loss-draw order, purge order,
@@ -167,3 +168,81 @@ def test_jsonl_sink_attached_changes_nothing_and_is_byte_identical(tmp_path):
     # Two same-seed runs stream byte-identical files.
     assert a.read_bytes() == b.read_bytes()
     assert len(a.read_bytes()) > 0
+
+
+# ----------------------------------------------------------------------
+# Golden traces: cross-refactor byte-identity
+#
+# The hashes below were captured on the monolithic pre-roles codebase
+# (single-class ``HierarchicalNode``, protocols scheduling directly on
+# ``repro.sim``).  The runtime/roles refactor — and any future structural
+# change — must reproduce them bit-for-bit: a changed hash means the
+# "pure code motion" claim is false (a scheduling call moved, an RNG draw
+# was added or reordered, a trace emit shifted).  Unlike the pairwise A/B
+# tests above, these pin the traces across *commits*, not just across
+# flag settings within one commit.
+# ----------------------------------------------------------------------
+
+GOLDEN_SHA256 = {
+    ("hierarchical", 7): (
+        "3f4f977fca4e3f1a478b39e16063aa16fd6756f2ae86218aa803eb96498a5b04"
+    ),
+    ("hierarchical", 8): (
+        "0bd99ad4617aa69698071c6a2d3d66e843f1c31d553e6b3efffd77b3e4e2faf9"
+    ),
+    ("hierarchical-chaos", 7): (
+        "982bb17173d1ffbdc803db9f45f7cf58cdb3a43d22847478e164fe0bd771fa53"
+    ),
+    ("all-to-all", 7): (
+        "324c46ec37a32b83763025db31bbb51dc4386b6826d592a0332d0cf64c359a45"
+    ),
+    ("gossip", 7): (
+        "61fbe0d8e75fe052d575aa8fe3453f51be50659dec64a9f8d40cb668e8b2a589"
+    ),
+}
+
+
+def _trace_hash(trace) -> str:
+    import hashlib
+
+    return hashlib.sha256(repr(trace).encode()).hexdigest()
+
+
+def run_30_node_scheme_trace(scheme: str, seed: int = 7):
+    """The baseline schemes through the same 3x10 crash scenario."""
+    net, hosts, nodes = make_scheme_cluster(scheme, 3, 10, seed=seed, loss_rate=0.02)
+    net.run(until=20.0)
+    victim = hosts[5]
+    nodes[victim].stop()
+    net.crash_host(victim)
+    net.run(until=50.0)
+    return [(r.time, r.kind, r.node, r.data) for r in net.trace]
+
+
+def test_golden_trace_hierarchical_seed7():
+    assert _trace_hash(run_30_node_trace(True)) == GOLDEN_SHA256[("hierarchical", 7)]
+
+
+def test_golden_trace_hierarchical_seed7_legacy_protocol_path():
+    trace = run_30_node_trace(True, protocol_fast_path=False)
+    assert _trace_hash(trace) == GOLDEN_SHA256[("hierarchical", 7)]
+
+
+def test_golden_trace_hierarchical_seed8():
+    trace = run_30_node_trace(True, seed=8)
+    assert _trace_hash(trace) == GOLDEN_SHA256[("hierarchical", 8)]
+
+
+def test_golden_trace_hierarchical_chaos():
+    trace = run_30_node_chaos_trace(True)
+    assert _trace_hash(trace) == GOLDEN_SHA256[("hierarchical-chaos", 7)]
+
+
+def test_golden_trace_all_to_all():
+    trace = run_30_node_scheme_trace("all-to-all")
+    assert _trace_hash(trace) == GOLDEN_SHA256[("all-to-all", 7)]
+
+
+def test_golden_trace_gossip():
+    trace = run_30_node_scheme_trace("gossip")
+    assert _trace_hash(trace) == GOLDEN_SHA256[("gossip", 7)]

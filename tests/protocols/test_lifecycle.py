@@ -1,0 +1,63 @@
+"""Lifecycle regressions shared by all three protocol stacks.
+
+The runtime layer owns every timer a protocol node creates, so
+``stop()`` must leave no live timers behind — for the hierarchical node
+(which had this guarantee since the stray-one-shot fix) *and* for the
+baselines (which previously hand-rolled timer bookkeeping and leaked
+their self-rescheduling one-shots).  A leaked timer fires into the
+node's next life and acts on stale state, or keeps a dead node's
+callbacks churning forever.
+"""
+
+import pytest
+
+from repro.metrics.experiment import make_scheme_cluster
+
+
+def make_nodes(scheme):
+    net, hosts, nodes = make_scheme_cluster(scheme, 2, 3, seed=11)
+    return net, hosts, nodes
+
+
+@pytest.mark.parametrize("scheme", ["hierarchical", "all-to-all", "gossip"])
+def test_stop_mid_run_leaves_no_live_timers(scheme):
+    net, hosts, nodes = make_nodes(scheme)
+    # Mid-run: timers re-armed, elections/syncs in flight for the
+    # hierarchical scheme (its one-shots are the interesting part).
+    net.run(until=7.3)
+    for node in nodes.values():
+        assert node.runtime.live_timers > 0  # the daemon is actually ticking
+        node.stop()
+        assert node.runtime.live_timers == 0
+    # Nothing protocol-related fires after a full quiesce either.
+    before = len(net.trace)
+    net.run(until=60.0)
+    assert len(net.trace) == before
+
+
+@pytest.mark.parametrize("scheme", ["hierarchical", "all-to-all", "gossip"])
+def test_restart_after_stop_rebuilds_timers(scheme):
+    net, hosts, nodes = make_nodes(scheme)
+    net.run(until=5.0)
+    victim = hosts[0]
+    nodes[victim].stop()
+    assert nodes[victim].runtime.live_timers == 0
+    nodes[victim].start()
+    assert nodes[victim].runtime.live_timers > 0
+    net.run(until=30.0)
+    # The restarted node rejoins: everyone sees it again.
+    for host, node in nodes.items():
+        if host != victim:
+            assert node.knows(victim)
+
+
+@pytest.mark.parametrize("scheme", ["hierarchical", "all-to-all", "gossip"])
+def test_stop_is_idempotent_and_timers_stay_dead(scheme):
+    net, hosts, nodes = make_nodes(scheme)
+    net.run(until=4.1)
+    node = nodes[hosts[2]]
+    node.stop()
+    node.stop()  # second stop is a no-op, not an error
+    assert node.runtime.live_timers == 0
+    net.run(until=20.0)
+    assert node.runtime.live_timers == 0
