@@ -169,6 +169,19 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.cli",
         description="Reproduction experiments for the topology-adaptive membership paper",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the command under cProfile and print the top cumulative "
+             "entries to stderr (put the flag before the subcommand)",
+    )
+    parser.add_argument(
+        "--profile-top", type=int, default=25, metavar="N",
+        help="number of rows in the --profile report (default 25)",
+    )
+    parser.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="also dump raw --profile stats for pstats/snakeviz",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("compare", help="all three schemes on one scenario (mini Figs. 11-13)")
@@ -219,7 +232,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    if not args.profile:
+        return args.fn(args)
+    # Perf work starts from data: wrap any subcommand in cProfile so a
+    # future optimisation PR can see where a scenario actually spends
+    # its time without writing a bespoke harness first.
+    import cProfile
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        rc = args.fn(args)
+    finally:
+        prof.disable()
+        stats = pstats.Stats(prof, stream=sys.stderr).sort_stats("cumulative")
+        stats.print_stats(args.profile_top)
+        if args.profile_out:
+            prof.dump_stats(args.profile_out)
+            print(f"# profile stats dumped to {args.profile_out}", file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -51,7 +51,7 @@ def parse_partitions(spec: str) -> FrozenSet[int]:
 _RANGE_SPEC = re.compile(r"^[\d,\-\s]+$")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeRecord:
     """One directory entry: everything a node publishes about itself.
 
@@ -100,7 +100,7 @@ class NodeRecord:
         return replace(self, attrs=attrs)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry:
     record: NodeRecord
     last_refresh: float
@@ -110,6 +110,12 @@ class _Entry:
     #: dict-insertion rank, so heap-driven purges report dead entries in
     #: the same order the legacy full scans did (trace determinism)
     order: int = 0
+    #: False once this entry left the directory.  Receivers cache entry
+    #: references (see ``entry_view``) to skip the full-table probe on
+    #: no-change heartbeats; the flag is how a cached reference learns
+    #: it went stale.  A re-added node gets a *new* entry, so a live
+    #: entry is always the directory's current one for its node id.
+    live: bool = True
 
 
 class Directory:
@@ -122,14 +128,23 @@ class Directory:
 
     Hot-path engine (mirrors the net layer's version-validated caches):
 
-    * **Deadline-driven expiry** — while :attr:`use_fast_path` is on, every
-      freshness change pushes a ``(freshness, stamp, node_id)`` record onto
-      a per-class min-heap (direct vs relayed), and the periodic
-      ``purge_stale`` / ``purge_stale_relayed`` scans become heap pops:
-      amortised O(1) per refresh instead of O(members) per tick.  Stale
-      heap records (an entry refreshed since the push, reclassified, or
-      removed) are invalidated by ``stamp`` mismatch and discarded when
-      they surface — lazy deletion, as in the simulator's event queue.
+    * **Deadline-driven expiry (direct entries)** — while
+      :attr:`use_fast_path` is on, every freshness change pushes a
+      ``(freshness, stamp, node_id)`` record onto a min-heap and the
+      periodic ``purge_stale`` scan becomes heap pops: amortised O(1) per
+      refresh instead of O(members) per tick.  Stale heap records (an
+      entry refreshed since the push, reclassified, or removed) are
+      invalidated by ``stamp`` mismatch and discarded when they surface —
+      lazy deletion, as in the simulator's event queue.
+    * **Vouch-gated expiry (relayed entries)** — relayed entries are
+      indexed per relayer.  A relayed entry's effective freshness is
+      ``max(last_refresh, relayer's vouch time)``, and an alive relayer
+      re-vouches every heartbeat period — so in steady state
+      ``purge_stale_relayed`` is one clock comparison per *relayer*
+      (typically 1–3 per node) that skips the whole group, instead of any
+      per-entry work.  Only when a relayer's vouch lapses is its group
+      scanned entry-by-entry.  This is what keeps the purge tick flat in
+      directory size at 10k-node scale.
     * **Versioned views** — :attr:`version` counts structural changes (key
       set or record payloads); :meth:`members`, :meth:`records` and
       :meth:`snapshot` serve cached tuples rebuilt only when the version
@@ -149,12 +164,15 @@ class Directory:
         # the same life time as the leader itself").
         self._vouch_times: Dict[str, float] = {}
         self._use_fast_path = True
-        # Deadline heaps: (freshness key, stamp, node_id).  A record is
-        # live iff its stamp equals the entry's current stamp; every
-        # freshness/classification change bumps the stamp and pushes a new
-        # record, orphaning the old one.
+        # Deadline heap for direct entries: (freshness key, stamp, node_id).
+        # A record is live iff its stamp equals the entry's current stamp;
+        # every freshness/classification change bumps the stamp and pushes
+        # a new record, orphaning the old one.
         self._direct_heap: List[Tuple[float, int, str]] = []
-        self._relayed_heap: List[Tuple[float, int, str]] = []
+        # relayer -> insertion-ordered set (dict keyed by node id) of the
+        # entries it currently vouches for.  Maintained on both paths; the
+        # legacy purge keeps its full scans for A/B comparison.
+        self._relayed_groups: Dict[str, Dict[str, None]] = {}
         self._stamp = 0
         self._order = 0
         self._version = 0
@@ -176,11 +194,12 @@ class Directory:
 
     @property
     def use_fast_path(self) -> bool:
-        """Toggle for the deadline-heap purge engine (on by default).
+        """Toggle for the deadline-heap/vouch-gated purge engine (default on).
 
         Turning it off falls back to the legacy full-scan purges — kept for
         A/B benchmarking; traces are identical either way.  Turning it
-        (back) on rebuilds the heaps from the live table.
+        (back) on rebuilds the direct-entry heap from the live table (the
+        per-relayer index is maintained on both paths).
         """
         return self._use_fast_path
 
@@ -191,30 +210,40 @@ class Directory:
             self._rebuild_heaps()
         elif not enabled:
             self._direct_heap.clear()
-            self._relayed_heap.clear()
         self._use_fast_path = enabled
 
     def _rebuild_heaps(self) -> None:
         self._direct_heap.clear()
-        self._relayed_heap.clear()
         for nid, entry in self._entries.items():
-            if nid == self.owner:
+            if nid == self.owner or entry.relayed_by is not None:
                 continue
             self._stamp += 1
             entry.stamp = self._stamp
-            heap = self._direct_heap if entry.relayed_by is None else self._relayed_heap
-            heap.append((entry.last_refresh, entry.stamp, nid))
+            self._direct_heap.append((entry.last_refresh, entry.stamp, nid))
         heapq.heapify(self._direct_heap)
-        heapq.heapify(self._relayed_heap)
 
     def _note_deadline(self, nid: str, entry: _Entry, key: float) -> None:
-        """Push ``entry``'s current freshness onto its class heap."""
+        """Push a *direct* ``entry``'s current freshness onto the heap."""
         if nid == self.owner:
-            return  # the owner never expires; keep it out of the heaps
+            return  # the owner never expires; keep it out of the heap
         self._stamp += 1
         entry.stamp = self._stamp
-        heap = self._direct_heap if entry.relayed_by is None else self._relayed_heap
-        heapq.heappush(heap, (key, entry.stamp, nid))
+        heapq.heappush(self._direct_heap, (key, entry.stamp, nid))
+
+    def _group_add(self, nid: str, relayer: str) -> None:
+        groups = self._relayed_groups
+        group = groups.get(relayer)
+        if group is None:
+            groups[relayer] = {nid: None}
+        else:
+            group[nid] = None
+
+    def _group_discard(self, nid: str, relayer: str) -> None:
+        group = self._relayed_groups.get(relayer)
+        if group is not None:
+            group.pop(nid, None)
+            if not group:
+                del self._relayed_groups[relayer]
 
     # ------------------------------------------------------------------
     # Mutation
@@ -231,36 +260,50 @@ class Directory:
         Equal-incarnation records refresh the timestamp (and may update the
         payload, e.g. a changed service value at the same boot epoch).
         """
-        cur = self._entries.get(record.node_id)
+        nid = record.node_id
+        cur = self._entries.get(nid)
         if cur is not None and cur.record.incarnation > record.incarnation:
             return False
         if cur is not None and cur.record is record:
             # Same payload object (records travel by reference in the
             # simulator, and senders intern unchanged heartbeats): a pure
             # freshness/attribution bump, no deep equality, no new entry.
-            reclass = (cur.relayed_by is None) != (relayed_by is None)
             cur.last_refresh = now
-            cur.relayed_by = relayed_by
-            if reclass and self._use_fast_path:
-                # Class flip (direct<->relayed): the live heap record sits
-                # in the wrong heap and would be discarded as an orphan,
-                # so move it.  Pure freshness bumps leave the heap alone —
-                # the purge loops re-key stale-keyed records on surfacing.
-                self._note_deadline(record.node_id, cur, now)
+            old = cur.relayed_by
+            if old != relayed_by:
+                cur.relayed_by = relayed_by
+                if old is not None:
+                    self._group_discard(nid, old)
+                if relayed_by is not None:
+                    self._group_add(nid, relayed_by)
+                elif self._use_fast_path:
+                    # Became direct: its old heap record (if any) was
+                    # orphaned by the reclass, so file a live one.  Pure
+                    # freshness bumps leave the heap alone — the purge
+                    # loop re-keys stale-keyed records on surfacing.
+                    self._note_deadline(nid, cur, now)
             return False
         changed = cur is None or cur.record != record
         if cur is None:
             self._order += 1
             entry = _Entry(record, now, relayed_by, order=self._order)
-            self._entries[record.node_id] = entry
+            self._entries[nid] = entry
+            if relayed_by is not None:
+                self._group_add(nid, relayed_by)
         else:
             entry = cur
+            old = entry.relayed_by
             entry.record = record
             entry.last_refresh = now
             entry.relayed_by = relayed_by
+            if old != relayed_by:
+                if old is not None:
+                    self._group_discard(nid, old)
+                if relayed_by is not None:
+                    self._group_add(nid, relayed_by)
         self._version += 1
-        if self._use_fast_path:
-            self._note_deadline(record.node_id, entry, now)
+        if relayed_by is None and self._use_fast_path:
+            self._note_deadline(nid, entry, now)
         return changed
 
     def refresh(self, node_id: str, now: float, relayed_by: Optional[str] = None) -> bool:
@@ -269,17 +312,25 @@ class Directory:
         if entry is None:
             return False
         entry.last_refresh = now
-        if relayed_by is not None or entry.relayed_by is not None:
-            was_direct = entry.relayed_by is None
+        old = entry.relayed_by
+        if (relayed_by is not None or old is not None) and old != relayed_by:
             entry.relayed_by = relayed_by
-            if was_direct != (relayed_by is None) and self._use_fast_path:
-                self._note_deadline(node_id, entry, now)  # moved heaps
+            if old is not None:
+                self._group_discard(node_id, old)
+            if relayed_by is not None:
+                self._group_add(node_id, relayed_by)
+            elif self._use_fast_path:
+                self._note_deadline(node_id, entry, now)  # became direct
         return True
 
     def remove(self, node_id: str) -> bool:
         """Drop an entry (failure detected or departure announced)."""
-        if self._entries.pop(node_id, None) is None:
+        entry = self._entries.pop(node_id, None)
+        if entry is None:
             return False
+        entry.live = False
+        if entry.relayed_by is not None:
+            self._group_discard(node_id, entry.relayed_by)
         self._version += 1
         return True  # heap records orphaned; discarded lazily on surfacing
 
@@ -306,9 +357,10 @@ class Directory:
             and now - e.last_refresh > timeout
         ]
         for nid in dead:
+            entry = self._entries.pop(nid)
+            entry.live = False
             if incarnations is not None:
-                incarnations[nid] = self._entries[nid].record.incarnation
-            del self._entries[nid]
+                incarnations[nid] = entry.record.incarnation
         if dead:
             self._version += 1
         return dead
@@ -351,6 +403,7 @@ class Directory:
             if incarnations is not None:
                 incarnations[nid] = entry.record.incarnation
             del entries[nid]
+            entry.live = False
             dead.append((entry.order, nid))
         if dead:
             self._version += 1
@@ -364,11 +417,15 @@ class Directory:
         relayed by a group leader has the same life time as the leader
         itself".
         """
-        dead = [nid for nid, e in self._entries.items() if e.relayed_by == leader]
+        group = self._relayed_groups.pop(leader, None)
+        if not group:
+            return []
+        entries = self._entries
+        # Insertion-rank order matches the legacy full scan's dict order.
+        dead = sorted(group, key=lambda nid: entries[nid].order)
         for nid in dead:
-            del self._entries[nid]
-        if dead:
-            self._version += 1
+            entries.pop(nid).live = False
+        self._version += 1
         return dead
 
     def purge_stale_relayed(
@@ -385,7 +442,7 @@ class Directory:
         incarnations for after-the-fact remove-update guards.
         """
         if self._use_fast_path:
-            return self._pop_stale_relayed(now, timeout, incarnations)
+            return self._purge_stale_relayed_grouped(now, timeout, incarnations)
         dead = []
         for nid, e in self._entries.items():
             if nid == self.owner or e.relayed_by is None:
@@ -396,59 +453,61 @@ class Directory:
         for nid in dead:
             if incarnations is not None:
                 incarnations[nid] = self._entries[nid].record.incarnation
-            del self._entries[nid]
+            entry = self._entries.pop(nid)
+            entry.live = False
+            if entry.relayed_by is not None:
+                self._group_discard(nid, entry.relayed_by)
         if dead:
             self._version += 1
         return dead
 
-    def _pop_stale_relayed(
+    def _purge_stale_relayed_grouped(
         self,
         now: float,
         timeout: float,
         incarnations: Optional[Dict[str, int]] = None,
     ) -> List[str]:
-        """Heap-pop equivalent of the relayed-entry staleness scan.
+        """Vouch-gated equivalent of the relayed-entry staleness scan.
 
-        A relayed entry's effective freshness is ``max(last_refresh,
-        relayer's vouch time)``; neither refreshes nor vouches touch the
-        heap, so a live record's key is only a *lower bound* on the
-        entry's effective freshness.  When a stale-keyed record surfaces
-        but the entry is effectively fresh, the record is re-keyed at the
-        effective freshness and pushed back — each entry is re-keyed at
-        most once per timeout window, keeping the purge amortised O(1)
-        per refresh/vouch.
+        A whole group is provably fresh when its relayer vouched within the
+        window (``effective >= vouch time``), so the steady-state cost is
+        one comparison per relayer.  A group whose vouch lapsed is scanned
+        entry-by-entry with the exact legacy predicate — that only happens
+        while a relayer is dying, and ``purge_relayed_by`` usually empties
+        the group before this backstop ever sees it.
         """
-        heap = self._relayed_heap
         entries = self._entries
         vouch = self._vouch_times
-        dead: List[Tuple[int, str]] = []
-        while heap:
-            key, stamp, nid = heap[0]
-            entry = entries.get(nid)
-            if entry is None or entry.stamp != stamp or entry.relayed_by is None:
-                heapq.heappop(heap)  # orphaned by remove/reclass
-                continue
-            if not now - key > timeout:
-                break  # key <= effective freshness, so the rest is fresh too
-            effective = max(
-                entry.last_refresh, vouch.get(entry.relayed_by, float("-inf"))
-            )
-            if not now - effective > timeout:
-                # Refreshed or re-vouched since pushed: re-key, move on.
-                heapq.heappop(heap)
-                self._stamp += 1
-                entry.stamp = self._stamp
-                heapq.heappush(heap, (effective, entry.stamp, nid))
-                continue
-            heapq.heappop(heap)
+        neg_inf = float("-inf")
+        doomed: List[Tuple[int, str, _Entry]] = []
+        for relayer, group in self._relayed_groups.items():
+            vouched = vouch.get(relayer, neg_inf)
+            if now - vouched <= timeout:
+                continue  # fresh vouch covers every entry in the group
+            for nid in group:
+                if nid == self.owner:
+                    continue  # the owner never expires (legacy parity)
+                entry = entries[nid]
+                effective = entry.last_refresh
+                if effective < vouched:
+                    effective = vouched
+                if now - effective > timeout:
+                    doomed.append((entry.order, nid, entry))
+        if not doomed:
+            return []
+        # Insertion-rank order: identical to the legacy full-scan order
+        # (orders are unique, so the sort never compares entries).
+        doomed.sort(key=lambda item: item[0])
+        dead: List[str] = []
+        for _order, nid, entry in doomed:
             if incarnations is not None:
                 incarnations[nid] = entry.record.incarnation
             del entries[nid]
-            dead.append((entry.order, nid))
-        if dead:
-            self._version += 1
-            dead.sort()
-        return [nid for _order, nid in dead]
+            entry.live = False
+            self._group_discard(nid, entry.relayed_by)
+            dead.append(nid)
+        self._version += 1
+        return dead
 
     def vouch(self, relayer: str, now: float) -> None:
         """Record that ``relayer`` is alive, keeping its relayed entries fresh."""
@@ -461,25 +520,34 @@ class Directory:
         vouched entries so they survive until it re-syncs.  Returns the
         number of entries moved.
         """
-        moved = 0
-        for e in self._entries.values():
-            if e.relayed_by == old_relayer:
-                e.relayed_by = new_relayer
-                moved += 1
-        if moved and old_relayer in self._vouch_times:
+        group = self._relayed_groups.pop(old_relayer, None)
+        if not group:
+            return 0
+        entries = self._entries
+        for nid in group:
+            entries[nid].relayed_by = new_relayer
+        dst = self._relayed_groups.get(new_relayer)
+        if dst is None:
+            self._relayed_groups[new_relayer] = group
+        else:
+            dst.update(group)
+        moved = len(group)
+        if old_relayer in self._vouch_times:
             prev = self._vouch_times[old_relayer]
             self._vouch_times[new_relayer] = max(prev, self._vouch_times.get(new_relayer, prev))
         return moved
 
     def relayed_entries(self, relayer: str) -> List[str]:
         """Node ids currently vouched for by ``relayer`` (sorted)."""
-        return sorted(nid for nid, e in self._entries.items() if e.relayed_by == relayer)
+        return sorted(self._relayed_groups.get(relayer, ()))
 
     def clear(self) -> None:
+        for entry in self._entries.values():
+            entry.live = False
         self._entries.clear()
         self._vouch_times.clear()
         self._direct_heap.clear()
-        self._relayed_heap.clear()
+        self._relayed_groups.clear()
         self._version += 1
 
     # ------------------------------------------------------------------
@@ -502,6 +570,18 @@ class Directory:
     def relayed_by(self, node_id: str) -> Optional[str]:
         entry = self._entries.get(node_id)
         return entry.relayed_by if entry else None
+
+    def entry_view(self, node_id: str) -> Optional[_Entry]:
+        """The live entry for ``node_id``, or None — single-lookup peek.
+
+        Serves the informer's absorb hot path, which needs the stored
+        record *and* its relayer for every op of every update message.
+        Callers may retain the reference as a cache, but must check
+        ``entry.live`` before every use and re-probe when it is False —
+        removal is the only event that invalidates a cached entry (a
+        re-added node always gets a fresh entry object).
+        """
+        return self._entries.get(node_id)
 
     def members(self) -> Tuple[str, ...]:
         """All known node ids, sorted (deterministic iteration).

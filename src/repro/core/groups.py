@@ -11,14 +11,17 @@ Fig. 4, where *group* is a per-observer notion.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.core.heartbeat import Heartbeat
+
+if TYPE_CHECKING:
+    from repro.cluster.directory import _Entry
 
 __all__ = ["PeerState", "GroupState"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PeerState:
     """What this node knows about one peer on one channel."""
 
@@ -32,9 +35,15 @@ class PeerState:
     #: unchanged heartbeats, so ``hb is last_hb`` identifies a no-change
     #: heartbeat in O(1) — the receive fast path's precondition.
     last_hb: Optional[Heartbeat] = None
+    #: cached reference to this peer's entry in the owner's directory.
+    #: The directory's main table spans the whole cluster, so at 10k
+    #: nodes the per-heartbeat freshness probe is a random walk through
+    #: megabytes of hash table; the cache turns it into one object
+    #: touch.  Valid only while ``dir_entry.live`` — re-probe otherwise.
+    dir_entry: "Optional[_Entry]" = None
 
 
-@dataclass
+@dataclass(slots=True)
 class GroupState:
     """One node's view of one membership channel."""
 
@@ -121,8 +130,10 @@ class GroupState:
         """The leader this node follows on the channel (or itself)."""
         if self.i_am_leader:
             return self_id
-        leaders = self.visible_leaders()
-        return leaders[0] if leaders else None
+        cached = self._leaders_sorted
+        if cached is None:
+            cached = self._leaders_sorted = sorted(self._leader_ids)
+        return cached[0] if cached else None
 
     def contenders_below(self, my_id: str) -> List[str]:
         """Visible non-suppressed peers with a smaller id than mine.

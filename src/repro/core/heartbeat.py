@@ -29,7 +29,7 @@ from repro.cluster.directory import NodeRecord
 __all__ = ["Heartbeat"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Heartbeat:
     """One heartbeat on one channel.
 

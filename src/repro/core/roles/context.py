@@ -75,6 +75,10 @@ class NodeContext:
         updates: "UpdateManager",
     ) -> None:
         self.node = node
+        #: the host's (immutable) id, denormalised onto the context — it is
+        #: compared against every op of every update message, so the hot
+        #: paths read an attribute instead of chaining through ``node``.
+        self.node_id = node.node_id
         self.runtime = runtime
         self.config = config
         self.directory = directory
@@ -132,10 +136,6 @@ class NodeContext:
     @property
     def now(self) -> float:
         return self.runtime.now
-
-    @property
-    def node_id(self) -> str:
-        return self.node.node_id
 
     @property
     def use_fast_path(self) -> bool:

@@ -113,8 +113,15 @@ class Informer:
     def apply_ops(self, ops: Sequence[UpdateOp], via: str) -> None:
         ctx = self.ctx
         now = ctx.now
+        my_id = ctx.node_id
+        # One vouch-anchor memo per op batch: anchors depend only on group
+        # / leader state, which "add" absorption never touches.  Any other
+        # op kind may mutate it (drop_peer, become_leader, refutations), so
+        # the memo is discarded after each non-add op.
+        vouch_memo: Dict[str, str] = {}
         for op in ops:
-            if op.node_id == ctx.node_id:
+            if op.node_id == my_id:
+                vouch_memo = {}
                 if op.op == "remove" and op.incarnation >= ctx.node.incarnation:
                     # Rumor of our own death: refute by bumping our
                     # incarnation (SWIM-style) — the higher incarnation
@@ -131,8 +138,9 @@ class Informer:
             if op.op == "add":
                 if op.record is None:
                     continue
-                self.absorb_record(op.record, via, now)
+                self.absorb_record(op.record, via, now, vouch_memo)
             elif op.op == "leave":
+                vouch_memo = {}
                 # Graceful departure: drop immediately, heartbeats heard a
                 # moment ago notwithstanding (only the node itself
                 # originates its leave, so there is no rumor to distrust).
@@ -163,6 +171,7 @@ class Informer:
                 ctx.updates.forget_sender(op.node_id)
                 ctx.emit_member_down(op.node_id, reason="leave")
             elif op.op == "remove":
+                vouch_memo = {}
                 heard = ctx.heard_level(op.node_id)
                 if heard is not None:
                     # We hear this node ourselves; our own failure detector
@@ -230,10 +239,14 @@ class Informer:
         ctx = self.ctx
         now = ctx.now
         added: List["NodeRecord"] = []
+        my_id = ctx.node_id
+        # Absorbing "add"s never touches group/leader state, so one vouch
+        # memo is valid across the whole snapshot.
+        vouch_memo: Dict[str, str] = {}
         for record in snapshot:
-            if record.node_id == ctx.node_id:
+            if record.node_id == my_id:
                 continue
-            if self.absorb_record(record, via, now):
+            if self.absorb_record(record, via, now, vouch_memo):
                 added.append(record)
         if prune_relayer:
             # A full snapshot from our voucher is authoritative about what
@@ -320,7 +333,13 @@ class Informer:
         if cur is None or cur[0] <= incarnation:
             ctx.tombstones[node_id] = (incarnation, ctx.now)
 
-    def absorb_record(self, record: "NodeRecord", via: str, now: float) -> bool:
+    def absorb_record(
+        self,
+        record: "NodeRecord",
+        via: str,
+        now: float,
+        _vouch_memo: Optional[Dict[str, str]] = None,
+    ) -> bool:
         """Merge one second-hand record; returns True if it was new.
 
         Attribution rules: direct entries stay direct; existing relayed
@@ -328,9 +347,15 @@ class Informer:
         authoritative voucher (a subtree leader we hear directly), which
         re-homes the entry — that is how a failed-over leader's successor
         takes ownership of the subtree in everyone's books.
+
+        ``_vouch_memo`` is an optional per-batch cache of
+        :meth:`vouch_anchor` results, valid only while group/leader state
+        is untouched (the caller clears it across mutating ops).
         """
         ctx = self.ctx
-        if self.tombstoned(record.node_id, record.incarnation, now):
+        if ctx.tombstones and self.tombstoned(
+            record.node_id, record.incarnation, now
+        ):
             inc, when = ctx.tombstones[record.node_id]
             # Active anti-entropy: whoever still advertises this dead
             # incarnation is stale — push the removal back out instead of
@@ -352,18 +377,43 @@ class Informer:
                 via,
             )
             return False
-        existing = ctx.directory.get(record.node_id)
-        if existing is not None and existing.incarnation > record.incarnation:
+        memo = _vouch_memo
+        entry = ctx.directory.entry_view(record.node_id)
+        if entry is None:
+            if memo is None:
+                relayed_by: Optional[str] = self.vouch_anchor(via)
+            else:
+                relayed_by = memo.get(via)
+                if relayed_by is None:
+                    relayed_by = memo[via] = self.vouch_anchor(via)
+            ctx.directory.upsert(record, now, relayed_by=relayed_by)
+            ctx.emit_member_up(record.node_id)
+            return True
+        existing = entry.record
+        if existing.incarnation > record.incarnation:
             return False
-        if existing is None:
-            relayed_by: Optional[str] = self.vouch_anchor(via)
+        current = entry.relayed_by
+        if current is None:
+            relayed_by = None  # direct knowledge outranks relays
         else:
-            current = ctx.directory.relayed_by(record.node_id)
-            if current is None:
-                relayed_by = None  # direct knowledge outranks relays
-            elif self.vouch_anchor(via) == via and (
-                current == ctx.node_id or self.vouch_anchor(current) != current
-            ):
+            if memo is None:
+                anchor_via = self.vouch_anchor(via)
+            else:
+                anchor_via = memo.get(via)
+                if anchor_via is None:
+                    anchor_via = memo[via] = self.vouch_anchor(via)
+            takeover = False
+            if anchor_via == via:
+                if current == ctx.node_id:
+                    takeover = True
+                elif memo is None:
+                    takeover = self.vouch_anchor(current) != current
+                else:
+                    anchor_cur = memo.get(current)
+                    if anchor_cur is None:
+                        anchor_cur = memo[current] = self.vouch_anchor(current)
+                    takeover = anchor_cur != current
+            if takeover:
                 # The current relayer no longer functions as a vouching
                 # relay point for us (dead, left the channel, or demoted to
                 # a plain member) and an authoritative source re-announces
@@ -382,7 +432,4 @@ class Informer:
             ctx.directory.refresh(record.node_id, now, relayed_by=relayed_by)
             return False
         ctx.directory.upsert(record, now, relayed_by=relayed_by)
-        if existing is None:
-            ctx.emit_member_up(record.node_id)
-            return True
         return False

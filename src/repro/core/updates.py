@@ -35,7 +35,7 @@ _uid_counter = itertools.count(1)
 REMOVE_OP_SIZE = 24
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UpdateOp:
     """One membership delta.
 
@@ -59,7 +59,7 @@ class UpdateOp:
         return member_size if self.op == "add" else REMOVE_OP_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UpdateMessage:
     """One update datagram on one channel.
 
@@ -84,7 +84,7 @@ class UpdateMessage:
         return total
 
 
-@dataclass
+@dataclass(slots=True)
 class RecvOutcome:
     """Result of processing one incoming update message."""
 
@@ -128,8 +128,12 @@ class UpdateManager:
         # outgoing per-channel state
         self._next_seq: Dict[int, int] = {}
         self._recent: Dict[int, List[Tuple[int, int, Tuple[UpdateOp, ...]]]] = {}
-        # incoming per (sender, level) stream position
-        self._last_seen: Dict[Tuple[str, int], int] = {}
+        # incoming stream positions: level -> sender -> last seen seq.
+        # Nested (not tuple-keyed) so the per-heartbeat behind() check
+        # needs no key allocation, and the per-level map has a *stable
+        # identity* (cleared in place, never replaced) that the receive
+        # fast path can capture once per channel subscription.
+        self._last_seen: Dict[int, Dict[str, int]] = {}
         # uids already applied/relayed: insertion-ordered (dict preserves
         # insertion order) so eviction drops the oldest first
         self._seen_uids: Dict[int, None] = {}
@@ -138,7 +142,9 @@ class UpdateManager:
         """Forget everything (daemon restart)."""
         self._next_seq.clear()
         self._recent.clear()
-        self._last_seen.clear()
+        # In place: captured level_stream() references must stay valid.
+        for stream in self._last_seen.values():
+            stream.clear()
         self._seen_uids.clear()
 
     # ------------------------------------------------------------------
@@ -202,8 +208,8 @@ class UpdateManager:
         ``outcome.need_sync``.
         """
         outcome = RecvOutcome()
-        key = (msg.sender, msg.level)
-        last = self._last_seen.get(key)
+        stream = self.level_stream(msg.level)
+        last = stream.get(msg.sender)
         if last is None:
             # First contact mid-stream: everything before msg.seq was
             # missed; the piggyback recovers the recent tail and a larger
@@ -246,7 +252,7 @@ class UpdateManager:
                     self.mark_seen(uid)
                     outcome.apply.append((uid, ops))
                     outcome.recovered += 1
-        self._last_seen[key] = msg.seq
+        stream[msg.sender] = msg.seq
 
         if msg.uid not in self._seen_uids:
             self.mark_seen(msg.uid)
@@ -258,20 +264,34 @@ class UpdateManager:
         """Latest sequence number sent on ``level`` (advertised in heartbeats)."""
         return self._next_seq.get(level, 0)
 
+    def level_stream(self, level: int) -> Dict[str, int]:
+        """The sender → last-seen-seq map for ``level``.
+
+        The returned dict has a stable identity for the manager's
+        lifetime (:meth:`reset` empties it in place), so the per-channel
+        receive fast path may capture it once and run the
+        :meth:`behind` predicate without a method call or key tuple.
+        """
+        stream = self._last_seen.get(level)
+        if stream is None:
+            stream = self._last_seen[level] = {}
+        return stream
+
     def behind(self, sender: str, level: int, advertised_seq: int) -> bool:
         """True if the sender's heartbeat advertises updates we never saw."""
         if advertised_seq <= 0:
             return False
-        last = self._last_seen.get((sender, level))
+        stream = self._last_seen.get(level)
+        last = stream.get(sender) if stream is not None else None
         return last is None or last < advertised_seq
 
     def note_synced(self, sender: str, level: int, advertised_seq: int) -> None:
         """Mark the stream caught-up after a full directory sync."""
-        key = (sender, level)
-        if self._last_seen.get(key, -1) < advertised_seq:
-            self._last_seen[key] = advertised_seq
+        stream = self.level_stream(level)
+        if stream.get(sender, -1) < advertised_seq:
+            stream[sender] = advertised_seq
 
     def forget_sender(self, sender: str) -> None:
         """Drop stream state for a dead sender (its seq space restarts)."""
-        for key in [k for k in self._last_seen if k[0] == sender]:
-            del self._last_seen[key]
+        for stream in self._last_seen.values():
+            stream.pop(sender, None)

@@ -55,9 +55,16 @@ __all__ = ["MulticastFabric"]
 
 Handler = Callable[[Packet], None]
 
+#: One delay bucket of a cached fan-out: (delay, (host, handler) pairs in
+#: plan order, the hosts alone, the handlers alone — both in the same
+#: order, prebuilt for metering and dispatch — and a mutable box
+#: ``[meter_epoch, pending]`` caching the meter's deferred-accounting
+#: handle for this bucket's receiver cells).
+_Bucket = Tuple[float, List[Tuple[str, Handler]], List[str], List[Handler], list]
+
 #: One cached fan-out: (subscription version it was built against,
-#: ordered (host, handler, delay) recipients).
-_Plan = Tuple[int, Tuple[Tuple[str, Handler, float], ...]]
+#: ordered (host, handler, delay) recipients, recipients grouped by delay).
+_Plan = Tuple[int, Tuple[Tuple[str, Handler, float], ...], Tuple[_Bucket, ...]]
 
 
 class MulticastFabric:
@@ -152,12 +159,16 @@ class MulticastFabric:
     # ------------------------------------------------------------------
     # Delivery plans
     # ------------------------------------------------------------------
-    def _plan(self, channel: str, src: str, ttl: int) -> Tuple[Tuple[str, Handler, float], ...]:
+    def _plan(
+        self, channel: str, src: str, ttl: int
+    ) -> Tuple[Tuple[Tuple[str, Handler, float], ...], Tuple[_Bucket, ...]]:
         """Recipients of a (channel, src, ttl) send, in subscription order.
 
-        Cached until the topology mutates or the channel's subscriptions
-        change; both are validated on read so invalidation is O(1) at the
-        mutation site.
+        Returns the flat recipient tuple plus the same recipients grouped
+        by identical delay (the shape the lossless fast path schedules
+        directly).  Cached until the topology mutates or the channel's
+        subscriptions change; both are validated on read so invalidation
+        is O(1) at the mutation site.
         """
         topo = self.topo
         if topo.version != self._plans_topo_version:
@@ -169,7 +180,7 @@ class MulticastFabric:
         sub_version = self._sub_version[channel]
         plan = self._plans.get(key)
         if plan is not None and plan[0] == sub_version:
-            return plan[1]
+            return plan[1], plan[2]
         recipients: List[Tuple[str, Handler, float]] = []
         subs = self._subs.get(channel)
         if subs:
@@ -183,8 +194,18 @@ class MulticastFabric:
                     continue
                 recipients.append((host, handler, latency(src, host) + proc_delay))
         built = tuple(recipients)
-        self._plans[key] = (sub_version, built)
-        return built
+        by_delay: Dict[float, _Bucket] = {}
+        for host, handler, delay in built:
+            bucket = by_delay.get(delay)
+            if bucket is None:
+                by_delay[delay] = (delay, [(host, handler)], [host], [handler], [])
+            else:
+                bucket[1].append((host, handler))
+                bucket[2].append(host)
+                bucket[3].append(handler)
+        buckets = tuple(by_delay.values())
+        self._plans[key] = (sub_version, built, buckets)
+        return built, buckets
 
     # ------------------------------------------------------------------
     # Sending
@@ -204,7 +225,7 @@ class MulticastFabric:
         self.meter.record(self.sim.now, packet.src, "tx", packet.kind, packet.size)
         obs = self.obs
         obs.mc_tx.inc()
-        recipients = self._plan(packet.channel, packet.src, packet.ttl)
+        recipients, plan_buckets = self._plan(packet.channel, packet.src, packet.ttl)
         obs.mc_fanout.observe(len(recipients))
         if not recipients:
             return 0
@@ -212,14 +233,20 @@ class MulticastFabric:
         fault = self.fault_plan
         if fault is not None and fault.rules:
             return self._send_fast_chaos(packet, recipients, fault)
-        # Group survivors by identical delay; loss is drawn in plan
-        # (= sender-iteration) order so the RNG stream matches the legacy
-        # path draw for draw.
-        buckets: Dict[float, List[Tuple[str, Handler]]] = {}
+        # The stamp lets delivery skip per-receiver revalidation: if neither
+        # the topology nor the channel's subscriptions moved while the
+        # packet was in flight, every planned receiver is provably still up
+        # and still holds the same handler.
+        stamp = (self._plans_topo_version, self._sub_version[packet.channel])
+        now = self.sim.now
         if self.loss_rng is not None and self.loss_rate > 0.0:
+            # Group survivors by identical delay; loss is drawn in plan
+            # (= sender-iteration) order so the RNG stream matches the
+            # legacy path draw for draw.
             rand = self.loss_rng.random
             rate = self.loss_rate
             dropped = 0
+            buckets: Dict[float, List[Tuple[str, Handler]]] = {}
             for host, handler, delay in recipients:
                 if rand() < rate:
                     dropped += 1
@@ -231,16 +258,22 @@ class MulticastFabric:
                     bucket.append((host, handler))
             if dropped:
                 obs.mc_drops.add(dropped)
+            for delay, bucket in buckets.items():
+                # owned=True: the handle is discarded here, so the kernel
+                # may recycle the event object through its free-list after
+                # firing.
+                self.sim.call_at_batch(
+                    now + delay, self._deliver_batch, bucket, packet, stamp,
+                    owned=True,
+                )
         else:
-            for host, handler, delay in recipients:
-                bucket = buckets.get(delay)
-                if bucket is None:
-                    buckets[delay] = [(host, handler)]
-                else:
-                    bucket.append((host, handler))
-        now = self.sim.now
-        for delay, bucket in buckets.items():
-            self.sim.call_at_batch(now + delay, self._deliver_batch, bucket, packet)
+            # Lossless: the plan's precomputed buckets are the delivery
+            # schedule verbatim — nothing per-receiver happens at send time.
+            for bucket in plan_buckets:
+                self.sim.call_at_batch(
+                    now + bucket[0], self._deliver_planned, bucket, packet, stamp,
+                    owned=True,
+                )
         return len(recipients)
 
     def _send_fast_chaos(
@@ -262,6 +295,7 @@ class MulticastFabric:
         lossy = self.loss_rng is not None and self.loss_rate > 0.0
         rand = self.loss_rng.random if lossy else None
         rate = self.loss_rate
+        stamp = (self._plans_topo_version, self._sub_version[packet.channel])
         buckets: Dict[float, List[Tuple[str, Handler]]] = {}
         dropped = 0
         for host, handler, delay in recipients:
@@ -277,7 +311,10 @@ class MulticastFabric:
         if dropped:
             self.obs.mc_drops.add(dropped)
         for delay, bucket in buckets.items():
-            self.sim.call_at_batch(now + delay, self._deliver_batch, bucket, packet)
+            self.sim.call_at_batch(
+                now + delay, self._deliver_batch, bucket, packet, stamp,
+                owned=True,
+            )
         return len(recipients)
 
     def _send_slow(self, packet: Packet) -> int:
@@ -322,28 +359,80 @@ class MulticastFabric:
             obs.mc_drops.add(dropped)
         return delivered
 
-    def _deliver_batch(self, recipients: List[Tuple[str, Handler]], packet: Packet) -> None:
+    def _deliver_batch(
+        self,
+        recipients: List[Tuple[str, Handler]],
+        packet: Packet,
+        stamp: Optional[Tuple[int, int]] = None,
+    ) -> None:
         """Deliver one delay bucket: validate, account once, then dispatch.
 
-        Hosts may have crashed or left the channel while in flight; each is
-        re-validated at delivery time, exactly like the per-receiver path.
+        Hosts may have crashed or left the channel while in flight, so each
+        is re-validated at delivery time, exactly like the per-receiver path
+        — unless ``stamp`` proves nothing could have changed: if both the
+        topology version and the channel's subscription version still match
+        their send-time values, every planned receiver is still up and
+        still bound to the same handler, and the scan is skipped.
         Receive-side metering for the whole bucket lands in a single
         :meth:`BandwidthMeter.record_many` call.
         """
-        subs = self._subs.get(packet.channel, {})
-        is_up = self.topo.is_up
-        live = [
-            (host, handler)
-            for host, handler in recipients
-            if is_up(host) and subs.get(host) is handler
-        ]
-        if not live:
-            return
-        self.meter.record_many(
-            self.sim.now, [host for host, _handler in live], "rx", packet.kind, packet.size
-        )
+        if (
+            stamp is not None
+            and stamp[0] == self.topo.version
+            and stamp[1] == self._sub_version[packet.channel]
+        ):
+            live = recipients
+        else:
+            subs = self._subs.get(packet.channel, {})
+            is_up = self.topo.is_up
+            live = [
+                (host, handler)
+                for host, handler in recipients
+                if is_up(host) and subs.get(host) is handler
+            ]
+            if not live:
+                return
+        hosts = [host for host, _handler in live]
+        self.meter.record_many(self.sim.now, hosts, "rx", packet.kind, packet.size)
         self.obs.mc_rx.add(len(live))
         for _host, handler in live:
+            handler(packet)
+
+    def _deliver_planned(
+        self,
+        bucket: _Bucket,
+        packet: Packet,
+        stamp: Tuple[int, int],
+    ) -> None:
+        """Deliver a cached plan bucket with flat per-receiver cost.
+
+        The lossless fast path schedules the plan's own buckets, so the
+        receiver pairs, the host list, and (via the bucket's mutable box)
+        the meter's deferred-accounting handle are all reused across
+        deliveries of the same plan.  When the stamp holds, per-receiver
+        work is exactly one handler call — metering for the whole bucket
+        is one O(1) :meth:`BandwidthMeter.record_pending` note, folded
+        into the per-host cells lazily before any meter read.  A stale
+        stamp falls back to the fully revalidating batch path.
+        """
+        if (
+            stamp[0] != self.topo.version
+            or stamp[1] != self._sub_version[packet.channel]
+        ):
+            self._deliver_batch(bucket[1], packet)
+            return
+        _delay, pairs, hosts, handlers, box = bucket
+        meter = self.meter
+        if meter.keep_series:
+            # Series samples need host names, so take the generic path.
+            meter.record_many(self.sim.now, hosts, "rx", packet.kind, packet.size)
+        else:
+            if not box or box[0] != meter.epoch:
+                cells = meter.batch_cells(hosts, "rx")
+                box[:] = (meter.epoch, meter.open_pending(cells))
+            meter.record_pending(box[1], self.sim.now, packet.kind, packet.size)
+        self.obs.mc_rx.add(len(pairs))
+        for handler in handlers:
             handler(packet)
 
     def _deliver(self, packet: Packet, host: str, handler: Handler) -> None:

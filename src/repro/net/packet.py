@@ -17,7 +17,7 @@ __all__ = ["Packet"]
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A datagram in flight.
 

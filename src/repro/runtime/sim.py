@@ -43,6 +43,10 @@ class SimRuntime(NodeRuntime):
 
     def __init__(self, network: "Network", node_id: str) -> None:
         self.network = network
+        # The kernel clock is read on every heartbeat receive; cache the
+        # simulator (fixed for the network's lifetime) so ``now`` is one
+        # attribute load instead of a three-property chain.
+        self._sim = network.sim
         self.node_id = node_id
         self._active = False
         self._epoch = 0
@@ -56,7 +60,7 @@ class SimRuntime(NodeRuntime):
     # ------------------------------------------------------------------
     @property
     def now(self) -> float:
-        return self.network.sim.now
+        return self._sim._now
 
     # ------------------------------------------------------------------
     # Lifecycle / epochs
@@ -101,7 +105,7 @@ class SimRuntime(NodeRuntime):
             if self._active and self._epoch == epoch:
                 fn(*args)
 
-        event = self.network.sim.call_after(delay, fire)
+        event = self._sim.call_after(delay, fire)
         self.oneshots.add(event)
         return event
 
@@ -112,7 +116,7 @@ class SimRuntime(NodeRuntime):
         *args: object,
         first_delay: Optional[float] = None,
     ) -> TimerHandle:
-        timer = self.network.sim.call_every(period, fn, *args, first_delay=first_delay)
+        timer = self._sim.call_every(period, fn, *args, first_delay=first_delay)
         self._recurring.append(timer)
         return timer
 
@@ -156,7 +160,7 @@ class SimRuntime(NodeRuntime):
         return self.network.obs
 
     def emit(self, kind: str, **data: object) -> None:
-        self.network.trace.emit(self.network.sim.now, kind, node=self.node_id, **data)
+        self.network.trace.emit(self._sim._now, kind, node=self.node_id, **data)
 
     # ------------------------------------------------------------------
     # Randomness

@@ -39,7 +39,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 __all__ = ["Trace", "TraceRecord"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One trace event.
 

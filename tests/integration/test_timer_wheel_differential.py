@@ -1,0 +1,65 @@
+"""Differential guard: timer-wheel vs heap across the golden scenarios.
+
+The wheel must be a pure queue-backend swap: for every golden scenario
+(both hierarchical seeds, the chaos run, and the two baseline schemes)
+the seeded trace with ``use_timer_wheel`` disabled must be **identical**
+to the wheel trace — and therefore match the committed golden SHA-256,
+which doubles each comparison as a cross-commit check.
+
+The flag is flipped right after cluster construction (the backends
+migrate pending events on switch), so the deployment timers armed at
+construction are carried across — exactly the path a user toggling the
+A/B flag exercises.
+"""
+
+import pytest
+
+from repro.metrics.experiment import make_scheme_cluster
+from tests.integration.test_determinism_guard import GOLDEN_SHA256, _trace_hash
+
+
+def run_scheme_trace(scheme: str, seed: int, wheel: bool, chaos: bool = False):
+    """The golden 3x10 crash scenario with a selectable queue backend."""
+    net, hosts, nodes = make_scheme_cluster(scheme, 3, 10, seed=seed, loss_rate=0.02)
+    net.sim.use_timer_wheel = wheel
+    assert net.sim.use_timer_wheel == wheel
+    if chaos:
+        plan = net.ensure_fault_plan()
+        plan.partition(hosts[:10], hosts[10:], start=15.0, until=30.0, symmetric=False)
+        plan.add(
+            src=hosts[10:20], dst=hosts[20:], loss=0.2, jitter=0.05,
+            reorder=0.3, reorder_window=0.2, duplicate=0.1, dup_lag=0.05,
+            start=15.0, until=30.0,
+        )
+    net.run(until=20.0)
+    victim = hosts[5]
+    nodes[victim].stop()
+    net.crash_host(victim)
+    net.run(until=50.0)
+    return [(r.time, r.kind, r.node, r.data) for r in net.trace]
+
+
+SCENARIOS = [
+    ("hierarchical", 7, False),
+    ("hierarchical", 8, False),
+    ("hierarchical-chaos", 7, True),
+    ("all-to-all", 7, False),
+    ("gossip", 7, False),
+]
+
+
+@pytest.mark.parametrize(
+    "golden_key,chaos",
+    [((scheme, seed), chaos) for scheme, seed, chaos in SCENARIOS],
+    ids=[f"{scheme}-seed{seed}" for scheme, seed, _ in SCENARIOS],
+)
+def test_wheel_and_heap_traces_identical(golden_key, chaos):
+    scheme = golden_key[0].replace("-chaos", "")
+    seed = golden_key[1]
+    heap_trace = run_scheme_trace(scheme, seed, wheel=False, chaos=chaos)
+    wheel_trace = run_scheme_trace(scheme, seed, wheel=True, chaos=chaos)
+    assert len(heap_trace) > 100
+    assert heap_trace == wheel_trace
+    # Both backends must also still match the committed golden hash, so a
+    # synchronized drift of the pair cannot slip through.
+    assert _trace_hash(wheel_trace) == GOLDEN_SHA256[golden_key]

@@ -1,0 +1,171 @@
+"""Timer-wheel backend guards: cancel/re-arm semantics and recycling.
+
+The wheel and the legacy heap both use *lazy deletion*: ``cancel()``
+flags the queued entry and the run loop skips it when popped.  The
+classic blind spot of that scheme is a timer that is cancelled and then
+re-armed for the **same tick** — if the replacement reuses (or collides
+with) the stale queue entry, the callback fires twice in one instant.
+These tests pin the single-firing behaviour on both backends, plus the
+free-list recycling contract for kernel-owned batch events.
+"""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+from repro.sim.engine import _FREE_MAX
+
+
+@pytest.mark.parametrize("wheel", [False, True], ids=["heap", "wheel"])
+class TestCancelRearmSameTick:
+    """A cancelled recurring timer re-armed in the same tick fires once."""
+
+    def test_external_cancel_and_rearm_same_tick(self, wheel):
+        sim = Simulator(use_timer_wheel=wheel)
+        fires = []
+        old = sim.call_every(1.0, lambda: fires.append(("old", sim.now)))
+
+        def swap():
+            # Runs at t=3.0 *before* the old timer's queued firing: the
+            # stale entry is already in the queue for this very tick.
+            old.cancel()
+            sim.call_every(
+                1.0, lambda: fires.append(("new", sim.now)), first_delay=0.0
+            )
+
+        sim.call_at(3.0, swap, priority=-1)
+        sim.run(until=5.0)
+        assert fires == [
+            ("old", 1.0),
+            ("old", 2.0),
+            ("new", 3.0),
+            ("new", 4.0),
+            ("new", 5.0),
+        ]
+
+    def test_cancel_from_inside_own_callback_with_replacement(self, wheel):
+        sim = Simulator(use_timer_wheel=wheel)
+        fires = []
+        holder = {}
+
+        def tick():
+            fires.append(sim.now)
+            if sim.now == 2.0:
+                # Self-cancel mid-callback and re-arm a replacement with
+                # the same period: the old series must not fire at 3.0.
+                holder["t"].cancel()
+                holder["t"] = sim.call_every(1.0, tick)
+
+        holder["t"] = sim.call_every(1.0, tick)
+        sim.run(until=4.0)
+        assert fires == [1.0, 2.0, 3.0, 4.0]
+
+    def test_cancelled_timer_never_fires_again(self, wheel):
+        sim = Simulator(use_timer_wheel=wheel)
+        fires = []
+        timer = sim.call_every(1.0, lambda: fires.append(sim.now))
+        sim.call_at(2.5, timer.cancel)
+        sim.run(until=10.0)
+        assert fires == [1.0, 2.0]
+
+    def test_double_cancel_is_idempotent(self, wheel):
+        sim = Simulator(use_timer_wheel=wheel)
+        fires = []
+        timer = sim.call_every(1.0, lambda: fires.append(sim.now))
+        sim.run(until=1.0)
+        timer.cancel()
+        timer.cancel()
+        sim.run(until=3.0)
+        assert fires == [1.0]
+
+
+class TestFreeListRecycling:
+    """Kernel-owned batch events are recycled through the free-list."""
+
+    def test_owned_event_object_reused_after_firing(self):
+        sim = Simulator()
+        seen = []
+        first = sim.call_at_batch(1.0, seen.extend, ["a"], owned=True)
+        sim.run(until=1.0)
+        second = sim.call_at_batch(2.0, seen.extend, ["b"], owned=True)
+        assert second is first  # same object, recycled via the free-list
+        sim.run(until=2.0)
+        assert seen == ["a", "b"]
+
+    def test_unowned_event_never_recycled(self):
+        sim = Simulator()
+        first = sim.call_at_batch(1.0, lambda batch: None, ["a"])
+        sim.run(until=1.0)
+        second = sim.call_at_batch(2.0, lambda batch: None, ["b"])
+        assert second is not first
+
+    def test_cancelled_owned_event_does_not_fire_or_resurrect(self):
+        sim = Simulator()
+        seen = []
+        ev = sim.call_at_batch(1.0, seen.extend, ["dead"], owned=True)
+        ev.cancel()
+        # New owned work scheduled for the same tick must not collide
+        # with the cancelled entry still sitting in the queue.
+        sim.call_at_batch(1.0, seen.extend, ["live"], owned=True)
+        sim.run(until=5.0)
+        assert seen == ["live"]
+
+    def test_free_list_is_bounded(self):
+        sim = Simulator()
+        n = _FREE_MAX + 100
+        for i in range(n):
+            sim.call_at_batch(1.0, lambda batch: None, [i], owned=True)
+        sim.run(until=1.0)
+        assert len(sim._free) <= _FREE_MAX
+
+    def test_recycled_event_keeps_trigger_semantics(self):
+        # A recycled object must behave like a fresh one: new time, new
+        # payload, cancellable before firing.
+        sim = Simulator()
+        seen = []
+        first = sim.call_at_batch(1.0, seen.extend, ["a"], owned=True)
+        sim.run(until=1.0)
+        second = sim.call_at_batch(2.0, seen.extend, ["b"], owned=True)
+        assert second is first
+        second.cancel()
+        sim.run(until=3.0)
+        assert seen == ["a"]
+
+
+class TestBackendSwitching:
+    def test_switch_preserves_pending_events(self):
+        sim = Simulator(use_timer_wheel=True)
+        order = []
+        sim.call_at(1.0, order.append, "a")
+        sim.call_at(2.0, order.append, "b")
+        sim.use_timer_wheel = False
+        assert not sim.use_timer_wheel
+        sim.call_at(1.5, order.append, "mid")
+        sim.run(until=3.0)
+        assert order == ["a", "mid", "b"]
+
+    def test_switch_back_to_wheel_preserves_pending_events(self):
+        sim = Simulator(use_timer_wheel=False)
+        order = []
+        sim.call_at(1.0, order.append, "a")
+        timer = sim.call_every(1.0, order.append, "tick", first_delay=2.0)
+        sim.use_timer_wheel = True
+        sim.run(until=2.0)
+        timer.cancel()
+        sim.run(until=4.0)
+        assert order == ["a", "tick"]
+
+    def test_negative_clock_rejects_wheel(self):
+        sim = Simulator(start_time=-1.0, use_timer_wheel=True)
+        assert not sim.use_timer_wheel  # silently fell back at construction
+        with pytest.raises(SimulationError):
+            sim.use_timer_wheel = True
+
+    def test_switch_mid_run_rejected(self):
+        sim = Simulator(use_timer_wheel=True)
+
+        def flip():
+            sim.use_timer_wheel = False
+
+        sim.call_at(1.0, flip)
+        with pytest.raises(SimulationError):
+            sim.run(until=2.0)
