@@ -306,6 +306,35 @@ class Directory:
             self._note_deadline(nid, entry, now)
         return changed
 
+    def insert_new(
+        self,
+        record: NodeRecord,
+        now: float,
+        relayed_by: Optional[str] = None,
+    ) -> None:
+        """Insert a record known to be absent (the absorb first-sight path).
+
+        Exactly :meth:`upsert`'s ``cur is None`` branch without re-probing
+        the entries table — the caller just did the lookup.  Formation
+        runs this once per node pair, which makes the saved probe and
+        incarnation branches measurable at the 10k scale.
+        """
+        nid = record.node_id
+        self._order += 1
+        entry = _Entry(record, now, relayed_by, order=self._order)
+        self._entries[nid] = entry
+        if relayed_by is not None:
+            # _group_add, inlined: one insert per node pair at formation.
+            groups = self._relayed_groups
+            group = groups.get(relayed_by)
+            if group is None:
+                groups[relayed_by] = {nid: None}
+            else:
+                group[nid] = None
+        self._version += 1
+        if relayed_by is None and self._use_fast_path:
+            self._note_deadline(nid, entry, now)
+
     def refresh(self, node_id: str, now: float, relayed_by: Optional[str] = None) -> bool:
         """Bump the freshness of an existing entry (heartbeat w/o changes)."""
         entry = self._entries.get(node_id)

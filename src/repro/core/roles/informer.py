@@ -119,6 +119,17 @@ class Informer:
         # op kind may mutate it (drop_peer, become_leader, refutations), so
         # the memo is discarded after each non-add op.
         vouch_memo: Dict[str, str] = {}
+        # Formation applies one "add" per node pair plus relayed
+        # re-announcements — n^2-scale traffic whose two dominant cases
+        # (brand-new record; identical re-announcement with an unchanged
+        # voucher) are inlined below with batch-hoisted lookups, leaving
+        # absorb_record the general path.  The hoisted aliases are all
+        # stable objects mutated in place, never rebound.
+        directory = ctx.directory
+        probe = directory._entries.get
+        tombstones = ctx.tombstones
+        runtime = ctx.runtime
+        member_up = runtime.obs.member_up
         for op in ops:
             if op.node_id == my_id:
                 vouch_memo = {}
@@ -136,9 +147,32 @@ class Informer:
                     )
                 continue  # we are the authority on ourselves
             if op.op == "add":
-                if op.record is None:
+                rec = op.record
+                if rec is None:
                     continue
-                self.absorb_record(op.record, via, now, vouch_memo)
+                if not tombstones:
+                    entry = probe(rec.node_id)
+                    if entry is None:
+                        # absorb_record's insert branch, inlined (same
+                        # memoised anchor, same insert, same emits).
+                        relayed_by = vouch_memo.get(via)
+                        if relayed_by is None:
+                            relayed_by = vouch_memo[via] = self.vouch_anchor(via)
+                        directory.insert_new(rec, now, relayed_by=relayed_by)
+                        member_up.inc()
+                        runtime.emit_view_event("member_up", rec.node_id)
+                        continue
+                    if entry.record is rec:
+                        # Identical stored object: with a direct entry or
+                        # an unchanged voucher this is absorb_record's
+                        # bare-timestamp-bump case (takeover analysis
+                        # provably keeps ``relayed_by`` when it equals
+                        # ``via``; direct knowledge always outranks).
+                        rb = entry.relayed_by
+                        if rb is None or rb == via:
+                            entry.last_refresh = now
+                            continue
+                self.absorb_record(rec, via, now, vouch_memo)
             elif op.op == "leave":
                 vouch_memo = {}
                 # Graceful departure: drop immediately, heartbeats heard a
@@ -386,7 +420,7 @@ class Informer:
                 relayed_by = memo.get(via)
                 if relayed_by is None:
                     relayed_by = memo[via] = self.vouch_anchor(via)
-            ctx.directory.upsert(record, now, relayed_by=relayed_by)
+            ctx.directory.insert_new(record, now, relayed_by=relayed_by)
             ctx.emit_member_up(record.node_id)
             return True
         existing = entry.record
@@ -428,8 +462,13 @@ class Informer:
             # Same object as stored (payloads travel by reference in the
             # simulator): a pure freshness/attribution refresh, skipping
             # the deep-equality upsert path — the hot case during
-            # formation-time announce floods.
-            ctx.directory.refresh(record.node_id, now, relayed_by=relayed_by)
+            # formation-time announce floods.  An unchanged relayer (the
+            # overwhelmingly common sub-case) is a bare timestamp bump on
+            # the entry we already hold.
+            if relayed_by == current:
+                entry.last_refresh = now
+            else:
+                ctx.directory.refresh(record.node_id, now, relayed_by=relayed_by)
             return False
         ctx.directory.upsert(record, now, relayed_by=relayed_by)
         return False

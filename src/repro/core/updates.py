@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.directory import NodeRecord
 
@@ -121,10 +121,16 @@ class UpdateManager:
         node_id: str,
         piggyback_depth: int = 3,
         seen_uid_window: int = DEFAULT_SEEN_UID_WINDOW,
+        uid_alloc: Optional[Callable[[], int]] = None,
     ) -> None:
         self.node_id = node_id
         self.piggyback_depth = piggyback_depth
         self.seen_uid_window = seen_uid_window
+        # Pluggable uid source: the process-global counter is fine for
+        # one kernel, but the sharded runner needs uids that are unique
+        # across worker processes and independent of execution order, so
+        # it injects a per-node allocator (see ShardNetwork.uid_alloc).
+        self._uid_alloc = uid_alloc
         # outgoing per-channel state
         self._next_seq: Dict[int, int] = {}
         self._recent: Dict[int, List[Tuple[int, int, Tuple[UpdateOp, ...]]]] = {}
@@ -151,6 +157,8 @@ class UpdateManager:
     # Outgoing
     # ------------------------------------------------------------------
     def new_uid(self) -> int:
+        if self._uid_alloc is not None:
+            return self._uid_alloc()
         return next(_uid_counter)
 
     def build(

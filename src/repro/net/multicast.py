@@ -64,7 +64,11 @@ _Bucket = Tuple[float, List[Tuple[str, Handler]], List[str], List[Handler], list
 
 #: One cached fan-out: (subscription version it was built against,
 #: ordered (host, handler, delay) recipients, recipients grouped by delay).
-_Plan = Tuple[int, Tuple[Tuple[str, Handler, float], ...], Tuple[_Bucket, ...]]
+# (sub_version, sub_reset, log_idx, recipients, buckets).  ``recipients``
+# is a plan-private mutable list so subscription growth extends it in
+# place; ``buckets`` are rebuilt (fresh objects) on every extension so
+# in-flight deliveries holding old buckets never observe the change.
+_Plan = Tuple[int, int, int, List[Tuple[str, Handler, float]], Tuple[_Bucket, ...]]
 
 
 class MulticastFabric:
@@ -126,6 +130,14 @@ class MulticastFabric:
         self._subs: Dict[str, Dict[str, Handler]] = defaultdict(dict)
         # channel -> version, bumped on any subscription change to that channel
         self._sub_version: Dict[str, int] = defaultdict(int)
+        # channel -> append-only log of *new* subscriptions since the last
+        # reset; lets stale plans extend with the delta instead of
+        # re-querying a distance per already-planned recipient (the
+        # formation-time mass-join cost).  Removals and handler
+        # replacements bump _sub_reset, which forces a full rebuild and
+        # clears the log (dict insertion order then restarts aligned).
+        self._sub_log: Dict[str, List[Tuple[str, Handler]]] = defaultdict(list)
+        self._sub_reset: Dict[str, int] = defaultdict(int)
         # (channel, src, ttl) -> plan; valid only while _plans_topo_version
         # matches the live topology and the plan's own sub version matches.
         self._plans: Dict[Tuple[str, str, int], _Plan] = {}
@@ -136,19 +148,30 @@ class MulticastFabric:
     # ------------------------------------------------------------------
     def subscribe(self, channel: str, host: str, handler: Handler) -> None:
         """Join ``host`` to ``channel``; replaces any previous handler."""
-        self._subs[channel][host] = handler
+        subs = self._subs[channel]
+        if host in subs:
+            self._bump_reset(channel)  # replacement: position/handler moved
+        else:
+            self._sub_log[channel].append((host, handler))
+        subs[host] = handler
         self._sub_version[channel] += 1
 
     def unsubscribe(self, channel: str, host: str) -> None:
         subs = self._subs.get(channel)
         if subs is not None and subs.pop(host, None) is not None:
+            self._bump_reset(channel)
             self._sub_version[channel] += 1
 
     def unsubscribe_all(self, host: str) -> None:
         """Used when a host crashes: it stops hearing everything."""
         for channel, subs in self._subs.items():
             if subs.pop(host, None) is not None:
+                self._bump_reset(channel)
                 self._sub_version[channel] += 1
+
+    def _bump_reset(self, channel: str) -> None:
+        self._sub_reset[channel] += 1
+        self._sub_log[channel].clear()
 
     def subscribers(self, channel: str) -> list[str]:
         return sorted(self._subs.get(channel, {}))
@@ -161,7 +184,7 @@ class MulticastFabric:
     # ------------------------------------------------------------------
     def _plan(
         self, channel: str, src: str, ttl: int
-    ) -> Tuple[Tuple[Tuple[str, Handler, float], ...], Tuple[_Bucket, ...]]:
+    ) -> Tuple[List[Tuple[str, Handler, float]], Tuple[_Bucket, ...]]:
         """Recipients of a (channel, src, ttl) send, in subscription order.
 
         Returns the flat recipient tuple plus the same recipients grouped
@@ -180,22 +203,40 @@ class MulticastFabric:
         sub_version = self._sub_version[channel]
         plan = self._plans.get(key)
         if plan is not None and plan[0] == sub_version:
-            return plan[1], plan[2]
-        recipients: List[Tuple[str, Handler, float]] = []
-        subs = self._subs.get(channel)
-        if subs:
-            distance = topo.ttl_distance
-            latency = topo.latency
-            proc_delay = self.proc_delay
-            for host, handler in subs.items():
+            return plan[3], plan[4]
+        reset = self._sub_reset[channel]
+        log = self._sub_log[channel]
+        # One fused (ttl, latency) query per candidate: plan building is
+        # n^2-scale on cluster-wide channels during a mass join, and the
+        # two quantities come out of the same routing cell anyway.
+        route = topo.mc_route
+        proc_delay = self.proc_delay
+        if plan is not None and plan[1] == reset:
+            # Pure additions since this plan was built: evaluate only the
+            # log suffix.  Equivalent to a full rebuild because the subs
+            # dict's insertion order is exactly the log order until the
+            # next reset (removal/replacement) forces the rebuild path.
+            recipients = plan[3]
+            for host, handler in log[plan[2] :]:
                 if host == src:
                     continue
-                if distance(src, host) > ttl:
+                hops, lat = route(src, host)
+                if hops > ttl:
                     continue
-                recipients.append((host, handler, latency(src, host) + proc_delay))
-        built = tuple(recipients)
+                recipients.append((host, handler, lat + proc_delay))
+        else:
+            recipients = []
+            subs = self._subs.get(channel)
+            if subs:
+                for host, handler in subs.items():
+                    if host == src:
+                        continue
+                    hops, lat = route(src, host)
+                    if hops > ttl:
+                        continue
+                    recipients.append((host, handler, lat + proc_delay))
         by_delay: Dict[float, _Bucket] = {}
-        for host, handler, delay in built:
+        for host, handler, delay in recipients:
             bucket = by_delay.get(delay)
             if bucket is None:
                 by_delay[delay] = (delay, [(host, handler)], [host], [handler], [])
@@ -204,8 +245,8 @@ class MulticastFabric:
                 bucket[2].append(host)
                 bucket[3].append(handler)
         buckets = tuple(by_delay.values())
-        self._plans[key] = (sub_version, built, buckets)
-        return built, buckets
+        self._plans[key] = (sub_version, reset, len(log), recipients, buckets)
+        return recipients, buckets
 
     # ------------------------------------------------------------------
     # Sending
@@ -279,7 +320,7 @@ class MulticastFabric:
     def _send_fast_chaos(
         self,
         packet: Packet,
-        recipients: Tuple[Tuple[str, Handler, float], ...],
+        recipients: List[Tuple[str, Handler, float]],
         fault: FaultPlan,
     ) -> int:
         """Fast path under an active fault plan.

@@ -37,6 +37,11 @@ __all__ = ["NodeKind", "Topology", "UNREACHABLE"]
 #: Sentinel TTL distance for unreachable pairs (partition or inter-DC).
 UNREACHABLE = float("inf")
 
+_NOPE: Tuple[float, float] = (UNREACHABLE, UNREACHABLE)
+#: Shared empty base maps for cut-off sources (avoid per-source allocs).
+_EMPTY_MC: Dict[str, Tuple[float, float]] = {}
+_EMPTY_UC: Dict[str, float] = {}
+
 
 class NodeKind(str, Enum):
     """Device classes in the topology graph."""
@@ -68,6 +73,21 @@ class Topology:
         # source host -> {dest host -> latency} (WAN allowed)
         self._ucache: Dict[str, Dict[str, float]] = {}
         self._version = 0
+        # --- segment-compressed distance engine (see _leaf_map) ---
+        # Structural layout (who is a simple leaf, the infra adjacency,
+        # segment partition) changes only on add/remove, not on up/down.
+        self._struct_version = -1
+        self._leaf: Dict[str, Tuple[str, float]] = {}
+        self._infra_adj: Dict[str, Dict[str, float]] = {}
+        # (seed device, entry_routers, entry_lat) -> {infra node -> (r, lat)}
+        self._mc_seeded: Dict[Tuple[str, float, float], Dict[str, Tuple[float, float]]] = {}
+        # (seed device, entry_lat) -> {infra node -> lat}
+        self._uc_seeded: Dict[Tuple[str, float], Dict[str, float]] = {}
+        # src host -> its (shared) seeded map; {} when src is cut off.
+        self._mc_base: Dict[str, Dict[str, Tuple[float, float]]] = {}
+        self._uc_base: Dict[str, Dict[str, float]] = {}
+        self._segments_cache: Optional[List[List[str]]] = None
+        self._segment_of: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -152,6 +172,10 @@ class Topology:
         """O(1) existence check (``devices()`` builds a fresh list)."""
         return name in self._kind
 
+    def is_wan_edge(self, a: str, b: str) -> bool:
+        """True when ``a``/``b`` are linked by a WAN (inter-DC) edge."""
+        return (a, b) in self._wan_edges
+
     def datacenters(self) -> List[str]:
         return sorted({self._dc[n] for n in self._kind})
 
@@ -173,18 +197,26 @@ class Topology:
         Returns :data:`UNREACHABLE` if no live non-WAN path exists (WAN
         links do not carry multicast, and TTL grouping is per-DC).
         """
-        return self._distances(src).get(dst, (UNREACHABLE, UNREACHABLE))[0]
+        return self._mc_pair(src, dst)[0]
 
     def latency(self, src: str, dst: str) -> float:
         """One-way latency along the TTL-minimal live path (WAN excluded)."""
-        return self._distances(src).get(dst, (UNREACHABLE, UNREACHABLE))[1]
+        return self._mc_pair(src, dst)[1]
+
+    def mc_route(self, src: str, dst: str) -> Tuple[float, float]:
+        """``(ttl_distance, latency)`` in one lookup (multicast routing).
+
+        The fan-out planner needs both for every candidate recipient;
+        they live in the same routing cell, so the fused query halves the
+        hot-path probes of a mass join.
+        """
+        return self._mc_pair(src, dst)
 
     def unicast_latency(self, src: str, dst: str) -> float:
         """One-way latency for unicast, which *may* traverse WAN links."""
         if src == dst:
             return 0.0
-        dist = self._unicast_distances(src)
-        return dist.get(dst, UNREACHABLE)
+        return self._uc_pair(src, dst)
 
     def reachable(self, src: str, dst: str) -> bool:
         """True if unicast can currently get from ``src`` to ``dst``."""
@@ -212,7 +244,246 @@ class Topology:
     def _invalidate(self) -> None:
         self._cache.clear()
         self._ucache.clear()
+        self._mc_seeded.clear()
+        self._uc_seeded.clear()
+        self._mc_base.clear()
+        self._uc_base.clear()
         self._version += 1
+
+    # ------------------------------------------------------------------
+    # Segment-compressed pair queries
+    # ------------------------------------------------------------------
+    # A "simple leaf" is a host with exactly one link, attached to a
+    # non-host device.  No path ever travels *through* such a host (its
+    # single edge is a dead end), so every src→dst path factors as
+    # ``entry edge + infra path + exit edge``, where the infra graph is
+    # the topology minus the simple leaves.  Pair queries therefore need
+    # one Dijkstra per *attachment point* instead of one per host — on a
+    # 10k-host router tree that is ~1k sources over a ~1.1k-node graph
+    # instead of 10k sources over an 11k-node graph.
+    #
+    # Exactness: the infra Dijkstra is *seeded* with the entry edge's
+    # cost, so latencies accumulate left-to-right along the path in the
+    # same order as the full-graph Dijkstra — the returned floats are
+    # bit-identical, not merely close, and the golden traces cannot
+    # drift.  (IEEE addition is monotone, so seeding also preserves the
+    # argmin.)  Lexicographic (routers, latency) minimisation survives
+    # the factoring because both components are shifted by constants.
+
+    def _rebuild_structure(self) -> None:
+        leaf: Dict[str, Tuple[str, float]] = {}
+        for name, kind in self._kind.items():
+            if kind is not NodeKind.HOST:
+                continue
+            adj = self._adj[name]
+            if len(adj) != 1:
+                continue
+            (att, lat), = adj.items()
+            if self._kind[att] is not NodeKind.HOST:
+                leaf[name] = (att, lat)
+        infra: Dict[str, Dict[str, float]] = {}
+        for name, adj in self._adj.items():
+            if name in leaf:
+                continue
+            infra[name] = {n: l for n, l in adj.items() if n not in leaf}
+        self._leaf = leaf
+        self._infra_adj = infra
+        self._segments_cache = None
+        self._struct_version = self._version
+
+    def _mc_from(self, seed: str, r0: float, l0: float) -> Dict[str, Tuple[float, float]]:
+        """Seeded (routers, latency) Dijkstra over the infra graph, WAN excluded."""
+        key = (seed, r0, l0)
+        cached = self._mc_seeded.get(key)
+        if cached is not None:
+            return cached
+        seen: Dict[str, Tuple[float, float]] = {}
+        pq: List[Tuple[float, float, str]] = [(r0, l0, seed)]
+        infra = self._infra_adj
+        while pq:
+            routers, lat, node = heapq.heappop(pq)
+            if node in seen:
+                continue
+            seen[node] = (routers, lat)
+            for nxt, edge_lat in infra[node].items():
+                if nxt in seen or not self._up[nxt]:
+                    continue
+                if (node, nxt) in self._wan_edges:
+                    continue
+                cost = routers + (1.0 if self._kind[nxt] is NodeKind.ROUTER else 0.0)
+                heapq.heappush(pq, (cost, lat + edge_lat, nxt))
+        self._mc_seeded[key] = seen
+        return seen
+
+    def _uc_from(self, seed: str, l0: float) -> Dict[str, float]:
+        """Seeded min-latency Dijkstra over the infra graph, WAN allowed."""
+        key = (seed, l0)
+        cached = self._uc_seeded.get(key)
+        if cached is not None:
+            return cached
+        seen: Dict[str, float] = {}
+        pq: List[Tuple[float, str]] = [(l0, seed)]
+        infra = self._infra_adj
+        while pq:
+            lat, node = heapq.heappop(pq)
+            if node in seen:
+                continue
+            seen[node] = lat
+            for nxt, edge_lat in infra[node].items():
+                if nxt not in seen and self._up[nxt]:
+                    heapq.heappush(pq, (lat + edge_lat, nxt))
+        self._uc_seeded[key] = seen
+        return seen
+
+    def _mc_base_for(self, src: str) -> Dict[str, Tuple[float, float]]:
+        """Seeded infra map serving all multicast queries from ``src``."""
+        if not self._up.get(src, False):
+            return _EMPTY_MC
+        entry = self._leaf.get(src)
+        if entry is None:
+            if src not in self._infra_adj:
+                return _EMPTY_MC
+            return self._mc_from(src, 0.0, 0.0)
+        att, l0 = entry
+        if not self._up[att] or (src, att) in self._wan_edges:
+            return _EMPTY_MC
+        return self._mc_from(att, 1.0 if self._kind[att] is NodeKind.ROUTER else 0.0, l0)
+
+    def _uc_base_for(self, src: str) -> Dict[str, float]:
+        if not self._up.get(src, False):
+            return _EMPTY_UC
+        entry = self._leaf.get(src)
+        if entry is None:
+            if src not in self._infra_adj:
+                return _EMPTY_UC
+            return self._uc_from(src, 0.0)
+        att, l0 = entry
+        if not self._up[att]:
+            return _EMPTY_UC
+        return self._uc_from(att, l0)
+
+    def _mc_pair(self, src: str, dst: str) -> Tuple[float, float]:
+        if src == dst:
+            return (0.0, 0.0) if self._up.get(src, False) else _NOPE
+        if self._struct_version != self._version:
+            self._rebuild_structure()
+        base = self._mc_base.get(src)
+        if base is None:
+            base = self._mc_base[src] = self._mc_base_for(src)
+        leaf_dst = self._leaf.get(dst)
+        if leaf_dst is not None:
+            att_d, l_exit = leaf_dst
+            cell = base.get(att_d)
+            if cell is None or not self._up[dst]:
+                return _NOPE
+            wan = self._wan_edges
+            if wan and (att_d, dst) in wan:
+                return _NOPE
+            return (cell[0] + 1.0, cell[1] + l_exit)
+        cell = base.get(dst)
+        # Infra cells were computed against current up state (caches are
+        # cleared on any mutation), so only the host-kind filter remains.
+        if cell is None or self._kind[dst] is not NodeKind.HOST:
+            return _NOPE
+        return (cell[0] + 1.0, cell[1])
+
+    def _uc_pair(self, src: str, dst: str) -> float:
+        if self._struct_version != self._version:
+            self._rebuild_structure()
+        base = self._uc_base.get(src)
+        if base is None:
+            base = self._uc_base[src] = self._uc_base_for(src)
+        leaf_dst = self._leaf.get(dst)
+        if leaf_dst is not None:
+            att_d, l_exit = leaf_dst
+            lat = base.get(att_d)
+            if lat is None or not self._up[dst]:
+                return UNREACHABLE
+            return lat + l_exit
+        lat = base.get(dst)
+        if lat is None or self._kind[dst] is not NodeKind.HOST:
+            return UNREACHABLE
+        return lat
+
+    # ------------------------------------------------------------------
+    # Segment partition (shard map)
+    # ------------------------------------------------------------------
+    def segments(self) -> List[List[str]]:
+        """Hosts grouped by L2 segment, in deterministic insertion order.
+
+        A segment is a connected component of the graph with routers and
+        WAN edges removed — the paper's level-0 group domain.  Up/down
+        state is ignored: the partition is structural, so a shard map
+        derived from it stays valid across failures.
+        """
+        if self._struct_version != self._version:
+            self._rebuild_structure()
+        if self._segments_cache is not None:
+            return self._segments_cache
+        comp: Dict[str, int] = {}
+        next_id = 0
+        for start in self._kind:
+            if start in comp or self._kind[start] is NodeKind.ROUTER:
+                continue
+            comp[start] = next_id
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for nxt in self._adj[node]:
+                    if (
+                        nxt in comp
+                        or self._kind[nxt] is NodeKind.ROUTER
+                        or (node, nxt) in self._wan_edges
+                    ):
+                        continue
+                    comp[nxt] = next_id
+                    stack.append(nxt)
+            next_id += 1
+        groups: Dict[int, List[str]] = {}
+        seg_of: Dict[str, int] = {}
+        for name, kind in self._kind.items():
+            if kind is NodeKind.HOST:
+                groups.setdefault(comp[name], []).append(name)
+        # Re-number densely in first-host insertion order so segment ids
+        # are stable and host-only (host-free components drop out).
+        ordered = list(groups.items())
+        result = []
+        for new_id, (_cid, hosts) in enumerate(ordered):
+            for h in hosts:
+                seg_of[h] = new_id
+            result.append(hosts)
+        self._segments_cache = result
+        self._segment_of = seg_of
+        return result
+
+    def segment_of(self, host: str) -> int:
+        """Segment id of ``host`` (see :meth:`segments`)."""
+        self.segments()
+        return self._segment_of[host]
+
+    def cross_segment_lookahead(self) -> float:
+        """Lower bound on any cross-segment delivery latency.
+
+        Every cross-segment path crosses a router or a WAN edge, so its
+        latency is at least the cheapest such pinch: for each router, the
+        sum of its two smallest incident edge latencies; for WAN, the
+        edge latency itself.  Downing devices only removes paths, so the
+        bound holds in every dynamic state — it is the conservative
+        lookahead for the sharded simulation's barrier windows.
+        Returns ``inf`` when nothing can cross (single segment).
+        """
+        best = UNREACHABLE
+        for name, kind in self._kind.items():
+            if kind is not NodeKind.ROUTER:
+                continue
+            lats = sorted(self._adj[name].values())
+            if len(lats) >= 2:
+                best = min(best, lats[0] + lats[1])
+            elif len(lats) == 1:
+                best = min(best, lats[0])
+        for (a, b) in self._wan_edges:
+            best = min(best, self._adj[a][b])
+        return best
 
     def _distances(self, src: str) -> Dict[str, Tuple[float, float]]:
         """(ttl, latency) to every reachable host, excluding WAN edges."""

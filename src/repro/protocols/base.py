@@ -223,7 +223,7 @@ class MembershipNode(ABC):
 
     def _emit_member_up(self, target: str) -> None:
         self.runtime.obs.member_up.inc()
-        self.runtime.emit("member_up", target=target)
+        self.runtime.emit_view_event("member_up", target)
 
     def _emit_member_down(self, target: str, reason: str = "timeout") -> None:
         self.runtime.obs.member_down.labels(reason=reason).inc()

@@ -159,6 +159,16 @@ class NodeRuntime(ABC):
     def emit(self, kind: str, **data: object) -> None:
         """Emit a structured trace event stamped ``(now, kind, node_id)``."""
 
+    def emit_view_event(self, kind: str, target: str) -> None:
+        """Emit a ``target``-shaped view event (``member_up``/``member_down``).
+
+        Semantically identical to ``emit(kind, target=target)`` — a
+        dedicated lane because formation emits one ``member_up`` per node
+        *pair* (n² of them at 10k nodes), and adapters can override this
+        to skip the kwargs packing when nothing is listening.
+        """
+        self.emit(kind, target=target)
+
     # ------------------------------------------------------------------
     # Randomness
     # ------------------------------------------------------------------

@@ -45,8 +45,10 @@ class SimRuntime(NodeRuntime):
         self.network = network
         # The kernel clock is read on every heartbeat receive; cache the
         # simulator (fixed for the network's lifetime) so ``now`` is one
-        # attribute load instead of a three-property chain.
+        # attribute load instead of a three-property chain.  Same for the
+        # trace, probed once per (n^2-scale) view event.
         self._sim = network.sim
+        self._trace = network.trace
         self.node_id = node_id
         self._active = False
         self._epoch = 0
@@ -160,7 +162,14 @@ class SimRuntime(NodeRuntime):
         return self.network.obs
 
     def emit(self, kind: str, **data: object) -> None:
-        self.network.trace.emit(self._sim._now, kind, node=self.node_id, **data)
+        trace = self._trace
+        if trace.wants(kind):
+            trace.emit(self._sim._now, kind, node=self.node_id, **data)
+
+    def emit_view_event(self, kind: str, target: str) -> None:
+        trace = self._trace
+        if trace.wants(kind):
+            trace.emit(self._sim._now, kind, node=self.node_id, target=target)
 
     # ------------------------------------------------------------------
     # Randomness

@@ -1,0 +1,539 @@
+"""The per-shard network facade and its traffic-splitting fabrics.
+
+One :class:`ShardNetwork` is the ``Network``-shaped world a shard's
+protocol nodes live in: it owns a full **replica** of the topology (every
+shard builds the identical graph from the scenario spec and applies the
+identical control operations, so distance/route queries agree
+everywhere), a :class:`~repro.shard.engine.ShardSimulator`, and the two
+fabrics below.
+
+Traffic classification
+----------------------
+* **Same-segment** (sender and receiver in one L2 segment, hence one
+  shard): evaluated at send time against live local state, exactly like
+  the plain fabrics — latency is below the cross-segment lookahead so
+  these deliveries cannot wait for a barrier.
+* **Cross-segment** (always crosses a router/WAN pinch, latency ≥ the
+  lookahead): the send appends one :class:`Descriptor` to the shard's
+  outbox.  At the next window barrier all outboxes are merged, sorted by
+  ``(t_send, key)``, and *every* shard evaluates the merged stream
+  against its own local receivers — even the sender's shard, for its
+  locally-owned other segments.  This holds for shards=1 too, which is
+  what makes the merged trace shard-count invariant.
+
+Determinism of the stochastic processes
+---------------------------------------
+The plain fabrics draw loss/chaos from single shared streams in global
+execution order — an order that does not survive partitioning.  The
+shard fabrics instead draw from **per-destination** streams
+(``shard.loss.<dst>``, ``shard.chaos.<dst>``): for one destination the
+draw order is its shard's execution order (same-segment sends) merged
+with the globally-sorted descriptor order (barrier evaluations), both of
+which are shard-count invariant; draws for different destinations come
+from independent streams, so their interleaving cannot matter.  Chaos
+rule *matching* uses the send time (``t_send``), like the plain fabrics.
+
+Virtual addresses (``bind_address`` / IP takeover) are intentionally
+unsupported: only the two-DC proxy experiment uses them and it is out of
+the sharded kernel's scope.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.bandwidth import BandwidthMeter
+from repro.net.faults import FaultPlan
+from repro.net.packet import Packet
+from repro.net.topology import UNREACHABLE, Topology
+from repro.obs.wiring import NOOP, Instruments
+from repro.shard.engine import Key, ShardSimulator
+from repro.shard.partition import ShardMap
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Trace
+
+__all__ = ["Descriptor", "ShardNetwork", "ShardTrace"]
+
+Handler = Callable[[Packet], None]
+
+
+class Descriptor:
+    """One cross-segment send, in declarative (evaluatable) form.
+
+    ``key`` is the send's unique event key (allocated from the sending
+    event's context, hence shard-count invariant); barrier-scheduled
+    deliveries extend it with ``(receiver_rank, copy_index)``.  The
+    packet rides along whole — receivers resolve scope, latency, loss
+    and chaos themselves at the barrier, against replica state.
+    """
+
+    __slots__ = ("key", "t_send", "packet", "port")
+
+    def __init__(
+        self, key: Key, t_send: float, packet: Packet, port: Optional[str] = None
+    ) -> None:
+        self.key = key
+        self.t_send = t_send
+        self.packet = packet
+        self.port = port
+
+    def sort_key(self) -> Tuple[float, Key]:
+        return (self.t_send, self.key)
+
+    def __reduce__(self) -> Tuple[object, Tuple[object, ...]]:
+        return (Descriptor, (self.key, self.t_send, self.packet, self.port))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Descriptor t={self.t_send:.6f} key={self.key} kind={self.packet.kind}>"
+
+
+class ShardTrace(Trace):
+    """A :class:`Trace` that stamps every retained record with a merge key.
+
+    The merge key is ``(time, priority, seq, emit_index)`` — the sort key
+    of the event (or root context) that emitted the record plus a
+    per-event emission counter.  Sorting the union of all shards' records
+    by it reproduces one global total order, byte-identical for every
+    shard count.
+    """
+
+    def __init__(self, sim: ShardSimulator, **kwargs: object) -> None:
+        super().__init__(**kwargs)  # type: ignore[arg-type]
+        self._sim = sim
+        self.keys: List[Tuple[float, int, Key, int]] = []
+        self._ctx_last: Optional[Tuple[int, Key]] = None
+        self._ctx_idx = 0
+
+    def emit(
+        self, time: float, kind: str, node: Optional[str] = None, **data: object
+    ) -> None:
+        before = len(self._records)
+        super().emit(time, kind, node, **data)
+        if len(self._records) > before:
+            ctx = self._sim.current_key()
+            if ctx != self._ctx_last:
+                self._ctx_last = ctx
+                self._ctx_idx = 0
+            self.keys.append((time, ctx[0], ctx[1], self._ctx_idx))
+            self._ctx_idx += 1
+
+
+class _ShardMulticastFabric:
+    """TTL-scoped multicast, split by segment (see module docstring)."""
+
+    def __init__(self, net: "ShardNetwork") -> None:
+        self.net = net
+        # channel -> host -> handler (local hosts only; remote nodes
+        # subscribe in their own shard's replica of this fabric).
+        self._subs: Dict[str, Dict[str, Handler]] = defaultdict(dict)
+
+    # -- membership ----------------------------------------------------
+    def subscribe(self, channel: str, host: str, handler: Handler) -> None:
+        self._subs[channel][host] = handler
+
+    def unsubscribe(self, channel: str, host: str) -> None:
+        subs = self._subs.get(channel)
+        if subs is not None:
+            subs.pop(host, None)
+
+    def unsubscribe_all(self, host: str) -> None:
+        for subs in self._subs.values():
+            subs.pop(host, None)
+
+    def subscribers(self, channel: str) -> List[str]:
+        return sorted(self._subs.get(channel, {}))
+
+    def is_subscribed(self, channel: str, host: str) -> bool:
+        return host in self._subs.get(channel, {})
+
+    # -- sending -------------------------------------------------------
+    def send(self, packet: Packet) -> int:
+        """Send-time half: same-segment deliveries plus one descriptor.
+
+        Returns the number of in-scope same-segment receivers (the
+        cross-segment fan-out is not known until the barriers evaluate
+        it — but the return value is the same for every shard count).
+        """
+        if packet.channel is None:
+            raise ValueError("multicast send requires packet.channel")
+        net = self.net
+        topo = net.topo
+        if not topo.is_up(packet.src):
+            return 0
+        sim = net.sim
+        now = sim.now
+        net.meter.record(now, packet.src, "tx", packet.kind, packet.size)
+        obs = net.obs
+        obs.mc_tx.inc()
+        src_seg = topo.segment_of(packet.src)
+        segment_of = topo.segment_of
+        delivered = 0
+        dropped = 0
+        subs = self._subs.get(packet.channel)
+        if subs:
+            distance = topo.ttl_distance
+            latency = topo.latency
+            proc_delay = net.proc_delay
+            for host, handler in subs.items():
+                if host == packet.src or segment_of(host) != src_seg:
+                    continue
+                if distance(packet.src, host) > packet.ttl:
+                    continue
+                delivered += 1
+                if not net._loss_ok(host):
+                    dropped += 1
+                    continue
+                delay = latency(packet.src, host) + proc_delay
+                offsets = net._fault_offsets(packet.src, host, now)
+                if offsets is None:
+                    sim.call_after(delay, self._deliver, packet, host, handler)
+                else:
+                    for off in offsets:
+                        sim.call_after(delay + off, self._deliver, packet, host, handler)
+        obs.mc_fanout.observe(delivered)
+        if delivered:
+            obs.mc_deliveries.add(delivered)
+        if dropped:
+            obs.mc_drops.add(dropped)
+        # Cross-segment scope needs TTL >= 2 (at least one router hop), so
+        # local-only sends — the L0 heartbeat bulk — skip the barrier
+        # exchange entirely.  The condition depends only on the packet,
+        # keeping descriptor keys aligned across shard counts.
+        if packet.ttl >= 2:
+            net.outbox.append(Descriptor(sim.next_key(), now, packet))
+        return delivered
+
+    # -- barrier half --------------------------------------------------
+    def evaluate(self, d: Descriptor) -> None:
+        """Schedule this descriptor's deliveries to *local* receivers."""
+        net = self.net
+        packet = d.packet
+        subs = self._subs.get(packet.channel or "")
+        if not subs:
+            return
+        topo = net.topo
+        src_seg = topo.segment_of(packet.src)
+        segment_of = topo.segment_of
+        distance = topo.ttl_distance
+        latency = topo.latency
+        ranks = net.smap.host_rank
+        sim = net.sim
+        obs = net.obs
+        extra = 0
+        dropped = 0
+        for host, handler in subs.items():
+            if segment_of(host) == src_seg:
+                continue  # covered at send time, in the sender's shard
+            if distance(packet.src, host) > packet.ttl:
+                continue
+            extra += 1
+            if not net._loss_ok(host):
+                dropped += 1
+                continue
+            delay = latency(packet.src, host) + net.proc_delay
+            offsets = net._fault_offsets(packet.src, host, d.t_send)
+            copies = (0.0,) if offsets is None else offsets
+            for ci, off in enumerate(copies):
+                sim.call_at_keyed(
+                    d.t_send + delay + off,
+                    d.key + (ranks[host], ci),
+                    self._deliver,
+                    packet,
+                    host,
+                    handler,
+                )
+        if extra:
+            obs.mc_deliveries.add(extra)
+        if dropped:
+            obs.mc_drops.add(dropped)
+
+    def _deliver(self, packet: Packet, host: str, handler: Handler) -> None:
+        net = self.net
+        if not net.topo.is_up(host):
+            return
+        if self._subs.get(packet.channel or "", {}).get(host) is not handler:
+            return
+        net.meter.record(net.sim.now, host, "rx", packet.kind, packet.size)
+        net.obs.mc_rx.inc()
+        handler(packet)
+
+
+class _ShardTransport:
+    """Port-addressed unicast, split by segment (see module docstring)."""
+
+    def __init__(self, net: "ShardNetwork") -> None:
+        self.net = net
+        self._ports: Dict[Tuple[str, str], Handler] = {}
+
+    # -- binding -------------------------------------------------------
+    def bind(self, host: str, port: str, handler: Handler) -> None:
+        self._ports[(host, port)] = handler
+
+    def unbind(self, host: str, port: str) -> None:
+        self._ports.pop((host, port), None)
+
+    def unbind_all(self, host: str) -> None:
+        for key in [k for k in self._ports if k[0] == host]:
+            del self._ports[key]
+
+    def bind_address(self, address: str, host: str) -> None:
+        raise NotImplementedError(
+            "virtual addresses (IP takeover) are not supported by the "
+            "sharded kernel; run the proxy scenario on the plain Network"
+        )
+
+    # -- sending -------------------------------------------------------
+    def send(self, packet: Packet, port: str = "membership") -> bool:
+        if packet.dst is None:
+            raise ValueError("unicast send requires packet.dst")
+        net = self.net
+        topo = net.topo
+        if not topo.is_up(packet.src):
+            return False
+        sim = net.sim
+        now = sim.now
+        net.meter.record(now, packet.src, "tx", packet.kind, packet.size)
+        obs = net.obs
+        obs.uc_tx.inc()
+        dst = packet.dst
+        if dst not in net.smap.host_rank:
+            obs.uc_unroutable.inc()
+            return False
+        lat = topo.unicast_latency(packet.src, dst)
+        if lat == UNREACHABLE:
+            obs.uc_unroutable.inc()
+            return False
+        if topo.segment_of(dst) != topo.segment_of(packet.src):
+            net.outbox.append(Descriptor(sim.next_key(), now, packet, port))
+            return True
+        if not net._loss_ok(dst):
+            obs.uc_drops.inc()
+            return False
+        offsets = net._fault_offsets(packet.src, dst, now)
+        delay = lat + net.proc_delay
+        if offsets is not None:
+            if not offsets:
+                return False
+            for off in offsets:
+                sim.call_after(delay + off, self._deliver, packet, dst, port)
+            return True
+        sim.call_after(delay, self._deliver, packet, dst, port)
+        return True
+
+    # -- barrier half --------------------------------------------------
+    def evaluate(self, d: Descriptor) -> None:
+        net = self.net
+        packet = d.packet
+        host = packet.dst
+        assert host is not None
+        if not net.owns(host):
+            return
+        topo = net.topo
+        lat = topo.unicast_latency(packet.src, host)
+        if lat == UNREACHABLE:
+            net.obs.uc_unroutable.inc()
+            return
+        if not net._loss_ok(host):
+            net.obs.uc_drops.inc()
+            return
+        offsets = net._fault_offsets(packet.src, host, d.t_send)
+        if offsets is not None and not offsets:
+            return
+        copies = (0.0,) if offsets is None else offsets
+        rank = net.smap.host_rank[host]
+        for ci, off in enumerate(copies):
+            net.sim.call_at_keyed(
+                d.t_send + lat + net.proc_delay + off,
+                d.key + (rank, ci),
+                self._deliver,
+                packet,
+                host,
+                d.port or "membership",
+            )
+
+    def _deliver(self, packet: Packet, host: str, port: str) -> None:
+        net = self.net
+        if not net.topo.is_up(host):
+            return
+        handler = self._ports.get((host, port))
+        if handler is None:
+            return
+        net.meter.record(net.sim.now, host, "rx", packet.kind, packet.size)
+        net.obs.uc_rx.inc()
+        handler(packet)
+
+
+class ShardNetwork:
+    """One shard's ``Network``-shaped facade (see module docstring)."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        smap: ShardMap,
+        shard_id: int,
+        seed: int = 0,
+        loss_rate: float = 0.0,
+        proc_delay: float = 0.0,
+        trace: Optional[ShardTrace] = None,
+        keep_bandwidth_series: bool = False,
+        retain_trace: bool = True,
+    ) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+        self.sim = ShardSimulator()
+        self.topo = topo
+        self.smap = smap
+        self.shard_id = shard_id
+        self.rng = RngRegistry(seed)
+        self.meter = BandwidthMeter(keep_series=keep_bandwidth_series)
+        self.trace: ShardTrace = (
+            trace if trace is not None else ShardTrace(self.sim, retain=retain_trace)
+        )
+        self.loss_rate = loss_rate
+        self.proc_delay = proc_delay
+        self.fault_plan: Optional[FaultPlan] = None
+        self.obs: Instruments = NOOP
+        #: Cross-segment sends of the current window, exchanged at barriers.
+        self.outbox: List[Descriptor] = []
+        self.multicast_fabric = _ShardMulticastFabric(self)
+        self.transport = _ShardTransport(self)
+        self._loss_streams: Dict[str, random.Random] = {}
+        self._chaos_streams: Dict[str, random.Random] = {}
+        self._uid_counters: Dict[str, "itertools.count[int]"] = {}
+
+    # ------------------------------------------------------------------
+    # Network facade pass-throughs (the SimRuntime surface)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def subscribe(self, channel: str, host: str, handler: Handler) -> None:
+        self.multicast_fabric.subscribe(channel, host, handler)
+
+    def unsubscribe(self, channel: str, host: str) -> None:
+        self.multicast_fabric.unsubscribe(channel, host)
+
+    def multicast(
+        self, src: str, channel: str, ttl: int, kind: str, payload: object, size: int
+    ) -> int:
+        return self.multicast_fabric.send(
+            Packet(src=src, channel=channel, ttl=ttl, kind=kind, payload=payload, size=size)
+        )
+
+    def bind(self, host: str, port: str, handler: Handler) -> None:
+        self.transport.bind(host, port, handler)
+
+    def unicast(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: object,
+        size: int,
+        port: str = "membership",
+    ) -> bool:
+        return self.transport.send(
+            Packet(src=src, dst=dst, kind=kind, payload=payload, size=size), port=port
+        )
+
+    # ------------------------------------------------------------------
+    # Ownership / identity
+    # ------------------------------------------------------------------
+    def owns(self, host: str) -> bool:
+        return self.smap.host_shard.get(host) == self.shard_id
+
+    def uid_alloc(self, node_id: str) -> Callable[[], int]:
+        """Per-node update-uid allocator (see ``UpdateManager.new_uid``).
+
+        The plain kernel's process-global counter is execution-order
+        dependent (and collides across worker processes); here node rank
+        tags the high bits so uids are globally unique and identical for
+        every shard count and process layout.
+        """
+        rank = self.smap.host_rank[node_id]
+        counter = self._uid_counters.setdefault(node_id, itertools.count(1))
+
+        def alloc() -> int:
+            return (rank << 32) | next(counter)
+
+        return alloc
+
+    # ------------------------------------------------------------------
+    # Stochastic processes (per-destination streams)
+    # ------------------------------------------------------------------
+    def _loss_ok(self, dst: str) -> bool:
+        if self.loss_rate <= 0.0:
+            return True
+        stream = self._loss_streams.get(dst)
+        if stream is None:
+            stream = self._loss_streams[dst] = self.rng.stream(f"shard.loss.{dst}")
+        return stream.random() >= self.loss_rate
+
+    def _fault_offsets(
+        self, src: str, dst: str, t_send: float
+    ) -> Optional[Tuple[float, ...]]:
+        plan = self.fault_plan
+        if plan is None or not plan.rules:
+            return None
+        stream = self._chaos_streams.get(dst)
+        if stream is None:
+            stream = self._chaos_streams[dst] = self.rng.stream(f"shard.chaos.{dst}")
+        plan.rng = stream
+        return plan.offsets(src, dst, t_send)
+
+    def set_fault_plan(self, plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+        """Install ``plan`` (replicated identically on every shard)."""
+        self.fault_plan = plan
+        return plan
+
+    def ensure_fault_plan(self) -> FaultPlan:
+        if self.fault_plan is None:
+            self.fault_plan = FaultPlan()
+        return self.fault_plan
+
+    # ------------------------------------------------------------------
+    # Failure injection (applied on every shard by the runner's ops)
+    # ------------------------------------------------------------------
+    def crash_host(self, host: str) -> None:
+        self.topo.set_up(host, False)
+        self.multicast_fabric.unsubscribe_all(host)
+        self.transport.unbind_all(host)
+        if self.owns(host):
+            self.trace.emit(self.sim.now, "host_crashed", node=host)
+
+    def recover_host(self, host: str) -> None:
+        self.topo.set_up(host, True)
+        if self.owns(host):
+            self.trace.emit(self.sim.now, "host_recovered", node=host)
+
+    def fail_device(self, device: str) -> None:
+        self.topo.set_up(device, False)
+        if self.shard_id == 0:
+            self.trace.emit(self.sim.now, "device_failed", node=device)
+
+    def recover_device(self, device: str) -> None:
+        self.topo.set_up(device, True)
+        if self.shard_id == 0:
+            self.trace.emit(self.sim.now, "device_recovered", node=device)
+
+    # ------------------------------------------------------------------
+    # Barrier hooks used by the runner
+    # ------------------------------------------------------------------
+    def take_outbox(self) -> List[Descriptor]:
+        out = self.outbox
+        self.outbox = []
+        return out
+
+    def evaluate(self, descriptors: List[Descriptor]) -> None:
+        """Apply a merged, sorted descriptor stream to local receivers."""
+        mc = self.multicast_fabric
+        uc = self.transport
+        for d in descriptors:
+            if d.packet.channel is not None:
+                mc.evaluate(d)
+            else:
+                uc.evaluate(d)

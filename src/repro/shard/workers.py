@@ -1,0 +1,204 @@
+"""Process-parallel driver for the sharded kernel (spawn-safe).
+
+Each shard's :class:`~repro.shard.runner.ShardWorld` lives in its own
+worker process; the parent cuts barriers with the very same
+:func:`~repro.shard.runner.next_barrier_end` as the in-process
+:class:`~repro.shard.runner.ShardRun` and plays message broker for the
+descriptor exchange.  The wire protocol is two-phase per barrier so the
+parent's window choice sees post-apply queue state — exactly what the
+in-process loop sees — and both drivers cut *identical* barriers:
+
+``("apply", ops, descriptors)``
+    apply control ops (spec order) and evaluate the merged descriptor
+    stream at the current barrier; reply ``("applied", peek)``.
+``("run", end)``
+    drain local events strictly below ``end``; reply
+    ``("barrier", outbox)``.
+``("finish", until)``
+    final *inclusive* run to ``until``; reply
+    ``("done", keyed_records, events_executed)``.
+
+Workers rebuild their world from the picklable scenario spec, so the
+``spawn`` start method (the only portable one) works and nothing
+unpicklable ever crosses a pipe — descriptors carry packets, not
+handlers.  Determinism note: payload *identity* is lost across pickling,
+but all protocol state transitions compare records by content (an
+equal-record upsert is a pure refresh), so the merged trace still
+matches the in-process runner byte for byte — pinned by the mp smoke
+test in the differential suite.
+
+On a single-core host this path demonstrates the topology, not a
+speed-up; the in-process runner is the default everywhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from multiprocessing.connection import Connection
+from typing import List, Optional, Tuple
+
+from repro.shard.netshard import Descriptor
+from repro.shard.runner import (
+    KeyedRecord,
+    Op,
+    ShardResult,
+    ShardWorld,
+    merge_keyed_records,
+    next_barrier_end,
+    resolve_ops,
+    trace_hash,
+)
+from repro.shard.scenario import ShardScenario
+
+__all__ = ["run_scenario_mp", "shard_worker"]
+
+
+def shard_worker(
+    conn: Connection, spec: ShardScenario, shards: int, shard_id: int
+) -> None:
+    """Worker entry point (module-level: picklable under spawn)."""
+    try:
+        world = ShardWorld(spec, shards, shard_id)
+        conn.send(("ready", world.peek()))
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "apply":
+                _, ops, descriptors = msg
+                for op in ops:
+                    world.apply_op(op)
+                if descriptors:
+                    world.evaluate(descriptors)
+                conn.send(("applied", world.peek()))
+            elif cmd == "run":
+                world.run_window(msg[1])
+                conn.send(("barrier", world.take_outbox()))
+            elif cmd == "finish":
+                world.run(msg[1])
+                conn.send(
+                    ("done", world.keyed_records(), world.net.sim.events_executed)
+                )
+                return
+            else:  # pragma: no cover - protocol error
+                raise ValueError(f"unknown worker command {cmd!r}")
+    except Exception as exc:  # pragma: no cover - surfaced in the parent
+        try:
+            conn.send(("error", repr(exc)))
+        finally:
+            raise
+
+
+def _recv(conn: Connection, expect: str) -> Tuple[object, ...]:
+    msg = conn.recv()
+    if msg[0] == "error":
+        raise RuntimeError(f"shard worker failed: {msg[1]}")
+    if msg[0] != expect:
+        raise RuntimeError(f"expected {expect!r} from worker, got {msg[0]!r}")
+    return tuple(msg[1:])
+
+
+def run_scenario_mp(spec: ShardScenario, shards: int) -> ShardResult:
+    """Run ``spec`` with one spawned process per shard and merge results."""
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    # The parent needs its own replica only for barrier math and op
+    # resolution — no nodes are deployed here.
+    topo, hosts = spec.build_topology()
+    lookahead = topo.cross_segment_lookahead()
+    pending = resolve_ops(spec, hosts)
+    until = spec.run_until
+
+    ctx = mp.get_context("spawn")
+    conns: List[Connection] = []
+    procs: List[mp.process.BaseProcess] = []
+    try:
+        for sid in range(shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=shard_worker,
+                args=(child_conn, spec, shards, sid),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+
+        peeks: List[Optional[float]] = []
+        for conn in conns:
+            (peek,) = _recv(conn, "ready")
+            peeks.append(peek)  # type: ignore[arg-type]
+
+        def due_ops(t: float) -> List[Op]:
+            out: List[Op] = []
+            while pending and pending[0][0] <= t:
+                out.append(pending.pop(0))
+            return out
+
+        def apply_phase(t: float, staged: List[Descriptor]) -> Optional[float]:
+            """Ship due ops + staged descriptors; return the global peek."""
+            ops_now = due_ops(t)
+            for conn in conns:
+                conn.send(("apply", ops_now, staged))
+            fresh: List[Optional[float]] = []
+            for conn in conns:
+                (peek,) = _recv(conn, "applied")
+                fresh.append(peek)  # type: ignore[arg-type]
+            live = [p for p in fresh if p is not None]
+            return min(live) if live else None
+
+        t = 0.0
+        staged: List[Descriptor] = []
+        exchanged = 0
+        barriers = 0
+        while t < until:
+            t_next = apply_phase(t, staged)
+            end = next_barrier_end(
+                t, until, t_next, lookahead, pending[0][0] if pending else None
+            )
+            for conn in conns:
+                conn.send(("run", end))
+            t = end
+            barriers += 1
+            merged: List[Descriptor] = []
+            for conn in conns:
+                (outbox,) = _recv(conn, "barrier")
+                merged.extend(outbox)  # type: ignore[arg-type]
+            merged.sort(key=Descriptor.sort_key)
+            exchanged += len(merged)
+            staged = merged
+
+        # Barrier at exactly `until`: ops due there and the last staged
+        # batch apply before the final inclusive run, mirroring ShardRun.
+        apply_phase(t, staged)
+        for conn in conns:
+            conn.send(("finish", until))
+        per_shard: List[List[KeyedRecord]] = []
+        events: List[int] = []
+        for conn in conns:
+            records, executed = _recv(conn, "done")
+            per_shard.append(records)  # type: ignore[arg-type]
+            events.append(executed)  # type: ignore[arg-type]
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=30)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+
+    trace = merge_keyed_records(per_shard)
+    return ShardResult(
+        shards=shards,
+        trace=trace,
+        hash=trace_hash(trace),
+        events=tuple(events),
+        exchanged=exchanged,
+        barriers=barriers,
+        summary={
+            "hosts": len(hosts),
+            "segments": len(topo.segments()),
+            "lookahead": lookahead,
+            "mp": True,
+        },
+    )

@@ -120,6 +120,20 @@ class Trace:
             else:
                 self._last_time = time
 
+    def wants(self, kind: str) -> bool:
+        """True when an emit of ``kind`` would reach storage or a subscriber.
+
+        The n²-scale protocol paths (one ``member_up`` per node pair
+        during formation) call this before building the emit's kwargs, so
+        a disabled/streaming-without-sinks trace costs one predicate
+        instead of a discarded record.
+        """
+        if not self.enabled:
+            return False
+        if self._subscribers:
+            return True
+        return self.retain and (self.kinds is None or kind in self.kinds)
+
     def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
         """Invoke ``fn`` on every future record (live metric collectors)."""
         self._subscribers.append(fn)

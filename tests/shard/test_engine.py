@@ -1,0 +1,112 @@
+"""Unit tests for the tuple-keyed shard simulator and trace merging."""
+
+from repro.shard.engine import ShardSimulator
+from repro.shard.netshard import ShardTrace
+from repro.shard.runner import merge_keyed_records
+
+
+def test_root_context_keys_children_in_order():
+    sim = ShardSimulator()
+    sim.set_root((3,))
+    order = []
+    ev_a = sim.call_after(1.0, order.append, "a")
+    ev_b = sim.call_after(1.0, order.append, "b")
+    assert ev_a.seq == (3, 0)
+    assert ev_b.seq == (3, 1)
+    sim.run(until=2.0)
+    assert order == ["a", "b"]
+
+
+def test_child_keys_extend_parent_key():
+    sim = ShardSimulator()
+    sim.set_root((0,))
+    keys = []
+
+    def parent():
+        ev = sim.call_after(0.5, lambda: None)
+        keys.append(ev.seq)
+        ev2 = sim.call_after(0.5, lambda: None)
+        keys.append(ev2.seq)
+
+    root_ev = sim.call_after(1.0, parent)
+    assert root_ev.seq == (0, 0)
+    sim.run(until=1.0)
+    # Children of the event keyed (0, 0) are (0, 0, 0) and (0, 0, 1).
+    assert keys == [(0, 0, 0), (0, 0, 1)]
+
+
+def test_same_time_events_run_in_key_order_regardless_of_insert_order():
+    sim = ShardSimulator()
+    order = []
+    # Insert in reverse key order; ties at (time, priority) must resolve
+    # by tuple key comparison, not insertion order.
+    sim.call_at_keyed(1.0, (5, 0), order.append, "late-key")
+    sim.call_at_keyed(1.0, (1, 7), order.append, "middle-key")
+    sim.call_at_keyed(1.0, (1, 2, 9), order.append, "early-key")
+    sim.run(until=1.0)
+    # Lexicographic tuple order: (1, 2, 9) < (1, 7) < (5, 0).
+    assert order == ["early-key", "middle-key", "late-key"]
+
+
+def test_recurring_timer_rearms_stay_flat():
+    sim = ShardSimulator()
+    sim.set_root((0,))
+    seen = []
+    timer = sim.call_every(1.0, lambda: seen.append(timer._ev.seq))
+    base = timer._ev.seq
+    sim.run(until=3.5)
+    assert len(seen) == 3
+    # k-th re-arm is keyed base + (-1, k): constant depth, unique, and
+    # ordered before any child key (children are >= 0).
+    assert timer._ev.seq == base + (-1, 3)
+
+
+def test_keyed_schedule_rejects_past_times():
+    sim = ShardSimulator()
+    sim.run(until=5.0)
+    try:
+        sim.call_at_keyed(4.0, (0,), lambda: None)
+    except Exception as exc:
+        assert "cannot schedule" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("past-time keyed schedule must raise")
+
+
+def test_trace_merge_orders_by_time_then_key_then_emit_index():
+    # Two shards emit interleaved records; the merge must follow
+    # (time, priority, seq, emit_idx) — not shard id or append order.
+    sim_a = ShardSimulator()
+    sim_b = ShardSimulator()
+    tr_a = ShardTrace(sim_a)
+    tr_b = ShardTrace(sim_b)
+    sim_a.set_root((1,))
+    sim_b.set_root((0,))
+    tr_a.emit(0.0, "x", node="a1")
+    tr_b.emit(0.0, "x", node="b1")
+    tr_b.emit(0.0, "x", node="b2")  # same context: emit_idx breaks the tie
+    tr_a.emit(1.0, "x", node="a2")
+
+    def pairs(tr):
+        return [
+            (key, (r.time, r.kind, r.node, r.data))
+            for key, r in zip(tr.keys, tr.records())
+        ]
+
+    merged = merge_keyed_records([pairs(tr_a), pairs(tr_b)])
+    assert [rec[2] for rec in merged] == ["b1", "b2", "a1", "a2"]
+
+
+def test_emit_during_events_keys_by_event():
+    sim = ShardSimulator()
+    tr = ShardTrace(sim)
+    sim.set_root((0,))
+
+    def fire(tag):
+        tr.emit(sim.now, "k", node=tag)
+
+    sim.call_after(1.0, fire, "first")
+    sim.call_after(1.0, fire, "second")
+    sim.run(until=1.0)
+    assert [k[2] for k in tr.keys] == [(0, 0), (0, 1)]
+    # Emission counters reset per context.
+    assert [k[3] for k in tr.keys] == [0, 0]

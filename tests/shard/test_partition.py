@@ -1,0 +1,89 @@
+"""Unit tests for the segment → shard partition map."""
+
+import pytest
+
+from repro.net.builders import build_switched_cluster, build_two_datacenters
+from repro.shard.partition import ShardMap
+
+
+def test_round_robin_segment_assignment():
+    topo, hosts = build_switched_cluster(3, 4)
+    smap = ShardMap.build(topo, 2)
+    assert smap.shards == 2
+    assert smap.segment_shard == (0, 1, 0)
+    # Every host lands on its segment's shard; no host is lost.
+    assert set(smap.host_shard) == set(hosts)
+    for host in hosts:
+        seg = topo.segment_of(host)
+        assert smap.host_shard[host] == smap.segment_shard[seg]
+
+
+def test_host_rank_is_global_insertion_order():
+    topo, hosts = build_switched_cluster(3, 4)
+    smap = ShardMap.build(topo, 2)
+    assert [smap.host_rank[h] for h in hosts] == list(range(len(hosts)))
+
+
+def test_local_hosts_keep_rank_order_and_cover_everything():
+    topo, hosts = build_switched_cluster(3, 4)
+    smap = ShardMap.build(topo, 2)
+    seen = []
+    for sid in range(2):
+        local = smap.local_hosts(sid)
+        assert local == sorted(local, key=smap.host_rank.__getitem__)
+        assert all(smap.owns(sid, h) for h in local)
+        seen.extend(local)
+    assert sorted(seen) == sorted(hosts)
+
+
+def test_more_shards_than_segments_leaves_surplus_empty():
+    topo, hosts = build_switched_cluster(2, 3)
+    smap = ShardMap.build(topo, 4)
+    assert smap.segment_shard == (0, 1)
+    assert smap.local_hosts(2) == []
+    assert smap.local_hosts(3) == []
+
+
+def test_single_shard_owns_all():
+    topo, hosts = build_switched_cluster(3, 4)
+    smap = ShardMap.build(topo, 1)
+    assert set(smap.local_hosts(0)) == set(hosts)
+
+
+def test_build_rejects_zero_shards():
+    topo, _ = build_switched_cluster(2, 2)
+    with pytest.raises(ValueError):
+        ShardMap.build(topo, 0)
+
+
+def test_boundary_classification_switched():
+    topo, hosts = build_switched_cluster(2, 2)
+    smap = ShardMap.build(topo, 2)
+    # host <-> switch links are segment-internal.
+    assert not smap.is_boundary(topo, "dc0-n0-h0", "dc0-sw0")
+    # switch <-> core-router links are boundary (router endpoint).
+    assert smap.is_boundary(topo, "dc0-sw0", "dc0-core")
+    assert smap.is_boundary(topo, "dc0-core", "dc0-sw1")
+
+
+def test_boundary_classification_wan():
+    topo, a_hosts, b_hosts = build_two_datacenters(2, 2)
+    smap = ShardMap.build(topo, 2)
+    # WAN edge between border routers is a boundary however classified.
+    assert topo.is_wan_edge("dcA-border", "dcB-border")
+    assert smap.is_boundary(topo, "dcA-border", "dcB-border")
+    # Hosts from different DCs land on shards by segment, and their
+    # switch uplinks stay internal.
+    assert not smap.is_boundary(topo, a_hosts[0], "dcA-sw0")
+
+
+def test_cross_segment_lookahead_is_min_router_path():
+    # 3x10 golden shape: LAN 0.1 ms, backbone 0.2 ms; the cheapest
+    # cross-segment path crosses the core router via two backbone hops.
+    topo, _ = build_switched_cluster(3, 10)
+    assert topo.cross_segment_lookahead() == pytest.approx(0.0004)
+
+
+def test_single_segment_lookahead_is_infinite():
+    topo, _ = build_switched_cluster(1, 4)
+    assert topo.cross_segment_lookahead() == float("inf")
