@@ -1,0 +1,233 @@
+#!/usr/bin/env python
+"""Boot a real membership cluster on localhost: N daemons + the relay.
+
+Each daemon is a separate OS process running ``python -m repro.cli
+daemon`` — the same :class:`~repro.core.HierarchicalNode` protocol stack
+as the simulator, executed over asyncio/UDP with wire-serialized
+datagrams.  The channel relay provides TTL-scoped multicast between the
+configured LAN segments.
+
+Example::
+
+    PYTHONPATH=src python examples/launch_cluster.py --nodes 8 --segments 2
+
+The script waits for full convergence (every daemon's ``/view`` HTTP
+endpoint reports all N members), prints how long it took, then — unless
+``--keep-running`` — kills one daemon, measures detection/reconvergence,
+and shuts the cluster down.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from typing import Dict, List, Optional
+
+
+def free_ports(count: int) -> List[int]:
+    """Reserve ``count`` distinct free localhost ports."""
+    socks = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            sock.bind(("127.0.0.1", 0))
+            socks.append(sock)
+        return [s.getsockname()[1] for s in socks]
+    finally:
+        for s in socks:
+            s.close()
+
+
+def build_spec(
+    num_nodes: int,
+    segments: int,
+    config: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """A localhost ClusterSpec dict: nodes round-robined over segments."""
+    ports = free_ports(1 + 2 * num_nodes)
+    nodes: Dict[str, object] = {}
+    for i in range(num_nodes):
+        nodes[f"n{i}"] = {
+            "host": "127.0.0.1",
+            "port": ports[1 + i],
+            "http_port": ports[1 + num_nodes + i],
+            "segment": f"s{i % segments}",
+        }
+    return {
+        "relay": {"host": "127.0.0.1", "port": ports[0]},
+        "routers_between_segments": 1,
+        "config": dict(config or {}),
+        "nodes": nodes,
+    }
+
+
+class LocalCluster:
+    """Relay + N daemon subprocesses over one spec file.
+
+    Context manager; also used directly by the localhost network test.
+    """
+
+    def __init__(self, spec: Dict[str, object], python: str = sys.executable) -> None:
+        self.spec = spec
+        self.python = python
+        self.spec_path = ""
+        self.relay_proc: Optional[subprocess.Popen] = None
+        self.daemons: Dict[str, subprocess.Popen] = {}
+        self._env = {**os.environ}
+        src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+        self._env["PYTHONPATH"] = src + os.pathsep + self._env.get("PYTHONPATH", "")
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "LocalCluster":
+        fd, self.spec_path = tempfile.mkstemp(suffix=".json", prefix="cluster-")
+        with os.fdopen(fd, "w") as fh:
+            json.dump(self.spec, fh)
+        self.relay_proc = self._spawn(
+            [self.python, "-m", "repro.runtime.relay", "--spec", self.spec_path]
+        )
+        self._wait_line(self.relay_proc, "relay ready")
+        for node_id in self.spec["nodes"]:  # type: ignore[attr-defined]
+            self.daemons[node_id] = self._spawn(
+                [self.python, "-m", "repro.cli", "daemon",
+                 "--spec", self.spec_path, "--node", node_id]
+            )
+        for node_id, proc in self.daemons.items():
+            self._wait_line(proc, f"daemon {node_id} ready")
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        procs = list(self.daemons.values())
+        if self.relay_proc is not None:
+            procs.append(self.relay_proc)
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5)
+        if self.spec_path and os.path.exists(self.spec_path):
+            os.unlink(self.spec_path)
+
+    def _spawn(self, cmd: List[str]) -> subprocess.Popen:
+        return subprocess.Popen(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True, env=self._env,
+        )
+
+    @staticmethod
+    def _wait_line(proc: subprocess.Popen, needle: str, timeout: float = 20.0) -> None:
+        deadline = time.monotonic() + timeout
+        assert proc.stdout is not None
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                raise RuntimeError(f"process exited rc={proc.returncode} waiting for {needle!r}")
+            line = proc.stdout.readline()
+            if needle in line:
+                return
+        raise TimeoutError(f"timed out waiting for {needle!r}")
+
+    # -- observation ---------------------------------------------------
+    def http_port(self, node_id: str) -> int:
+        return int(self.spec["nodes"][node_id]["http_port"])  # type: ignore[index]
+
+    def view(self, node_id: str, timeout: float = 2.0) -> Optional[dict]:
+        url = f"http://127.0.0.1:{self.http_port(node_id)}/view"
+        try:
+            with urllib.request.urlopen(url, timeout=timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except OSError:
+            return None
+
+    def metrics(self, node_id: str, timeout: float = 2.0) -> Optional[str]:
+        url = f"http://127.0.0.1:{self.http_port(node_id)}/metrics"
+        try:
+            with urllib.request.urlopen(url, timeout=timeout) as resp:
+                return resp.read().decode("utf-8")
+        except OSError:
+            return None
+
+    def wait_for_views(
+        self,
+        expected: int,
+        deadline: float,
+        node_ids: Optional[List[str]] = None,
+        poll: float = 0.5,
+    ) -> float:
+        """Block until every polled daemon reports ``expected`` members.
+
+        Returns the elapsed seconds; raises ``TimeoutError`` with the
+        last seen view sizes otherwise.
+        """
+        targets = list(node_ids) if node_ids is not None else list(self.daemons)
+        start = time.monotonic()
+        sizes: Dict[str, object] = {}
+        while time.monotonic() - start < deadline:
+            sizes = {}
+            for node_id in targets:
+                view = self.view(node_id)
+                sizes[node_id] = view["count"] if view else None
+            if all(size == expected for size in sizes.values()):
+                return time.monotonic() - start
+            time.sleep(poll)
+        raise TimeoutError(f"views never reached {expected}: {sizes}")
+
+    def kill(self, node_id: str) -> None:
+        """SIGKILL one daemon (an unannounced crash, not a graceful stop)."""
+        proc = self.daemons.pop(node_id)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=5)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--segments", type=int, default=2)
+    parser.add_argument("--heartbeat-period", type=float, default=0.5)
+    parser.add_argument("--deadline", type=float, default=60.0,
+                        help="max seconds to wait for full convergence")
+    parser.add_argument("--keep-running", action="store_true",
+                        help="skip the kill experiment; run until Ctrl-C")
+    args = parser.parse_args(argv)
+
+    spec = build_spec(
+        args.nodes, args.segments, config={"heartbeat_period": args.heartbeat_period}
+    )
+    with LocalCluster(spec) as cluster:
+        print(f"booted relay + {args.nodes} daemons "
+              f"({args.segments} segments, hb={args.heartbeat_period}s)")
+        took = cluster.wait_for_views(args.nodes, args.deadline)
+        print(f"converged: every daemon sees all {args.nodes} members "
+              f"after {took:.1f}s")
+        if args.keep_running:
+            print("running until Ctrl-C; /view and /metrics are live:")
+            for node_id in cluster.daemons:
+                print(f"  n{node_id[1:]}: http://127.0.0.1:{cluster.http_port(node_id)}/view")
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                return 0
+        victim = sorted(cluster.daemons)[-1]
+        print(f"killing {victim} (SIGKILL)...")
+        cluster.kill(victim)
+        took = cluster.wait_for_views(args.nodes - 1, args.deadline)
+        print(f"reconverged: survivors purged {victim} after {took:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ Examples
     python -m repro.cli analysis --sizes 100 1000 4000
     python -m repro.cli obs --networks 3 --hosts 8 --format prometheus
     python -m repro.cli shard --shards 4 --networks 3 --hosts 10 --check-invariance
+    python -m repro.cli daemon --spec cluster.json --node n0
 """
 
 from __future__ import annotations
@@ -145,6 +146,111 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_daemon(args: argparse.Namespace) -> int:
+    """Run ONE real membership daemon: asyncio/UDP runtime + HTTP endpoint.
+
+    This is the real-network counterpart of a simulated node: the same
+    :class:`~repro.core.HierarchicalNode` protocol stack, executed over
+    :class:`~repro.runtime.anet.AsyncRuntime` with datagrams framed by
+    :mod:`repro.runtime.wire` and multicast scoped by the channel relay.
+    Each daemon serves ``/metrics`` (Prometheus text), ``/view`` (JSON
+    membership view) and ``/healthz`` over plain HTTP.
+    """
+    import asyncio
+    import dataclasses
+    import json
+    import signal
+
+    from repro.core.config import HierarchicalConfig
+    from repro.obs.wiring import Instruments
+    from repro.runtime.anet import AsyncRuntime, ClusterSpec
+
+    spec = ClusterSpec.load(args.spec)
+    config = HierarchicalConfig()
+    if spec.config:
+        config = dataclasses.replace(config, **spec.config)
+
+    async def _serve_http(node: HierarchicalNode, handle_registry) -> asyncio.AbstractServer:
+        from repro.obs import to_prometheus
+
+        def view_body() -> str:
+            return json.dumps(
+                {
+                    "node": node.node_id,
+                    "running": node.running,
+                    "count": len(node.view()),
+                    "members": node.view(),
+                    "levels": {
+                        str(level): {
+                            "leader": node.leader_of(level),
+                            "i_am_leader": node.is_leader(level),
+                        }
+                        for level in node.levels()
+                    },
+                }
+            )
+
+        routes = {
+            "/metrics": lambda: ("text/plain; version=0.0.4", to_prometheus(handle_registry)),
+            "/view": lambda: ("application/json", view_body()),
+            "/healthz": lambda: ("text/plain", "ok\n"),
+        }
+
+        async def handler(reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter") -> None:
+            try:
+                request = await reader.readline()
+                while True:  # drain headers; we never read a body
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                parts = request.decode("latin-1").split()
+                path = parts[1] if len(parts) >= 2 else "/"
+                route = routes.get(path)
+                if route is None:
+                    status, ctype, body = "404 Not Found", "text/plain", "not found\n"
+                else:
+                    ctype, body = route()
+                    status = "200 OK"
+                raw = body.encode("utf-8")
+                head = (
+                    f"HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\n"
+                    f"Content-Length: {len(raw)}\r\nConnection: close\r\n\r\n"
+                )
+                writer.write(head.encode("latin-1") + raw)
+                await writer.drain()
+            except (ConnectionError, asyncio.IncompleteReadError):
+                pass
+            finally:
+                writer.close()
+
+        node_spec = spec.nodes[args.node]
+        return await asyncio.start_server(handler, node_spec.host, node_spec.http_port)
+
+    async def _run() -> None:
+        registry = MetricsRegistry()
+        instruments = Instruments(registry)
+        runtime = AsyncRuntime(spec, args.node, instruments=instruments, seed=args.seed)
+        await runtime.start()
+        node = HierarchicalNode(None, args.node, config=config, runtime=runtime)
+        node.start()
+        server = await _serve_http(node, registry)
+        print(f"daemon {args.node} ready", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        if args.duration is not None:
+            loop.call_later(args.duration, stop.set)
+        await stop.wait()
+        node.stop()
+        runtime.close()
+        server.close()
+        await server.wait_closed()
+
+    asyncio.run(_run())
+    return 0
+
+
 def _cmd_analysis(args: argparse.Namespace) -> int:
     params = AnalysisParams(group_size=args.group_size)
     models = {name: cls(params) for name, cls in MODELS.items()}
@@ -273,6 +379,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check-invariance", action="store_true",
                    help="also run shards=1 and fail on a trace-hash mismatch")
     p.set_defaults(fn=_cmd_shard)
+
+    p = sub.add_parser("daemon", help="run one real asyncio/UDP membership daemon")
+    p.add_argument("--spec", required=True, metavar="PATH",
+                   help="cluster spec JSON (relay + node address book)")
+    p.add_argument("--node", required=True, help="this daemon's node id in the spec")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duration", type=float, default=None, metavar="SEC",
+                   help="exit after SEC seconds (default: run until SIGTERM)")
+    p.set_defaults(fn=_cmd_daemon)
 
     p = sub.add_parser("analysis", help="Section 4 closed forms")
     p.add_argument("--sizes", type=int, nargs="+", default=[20, 100, 1000, 4000])

@@ -290,6 +290,7 @@ class Directory:
             self._entries[nid] = entry
             if relayed_by is not None:
                 self._group_add(nid, relayed_by)
+            self._version += 1
         else:
             entry = cur
             old = entry.relayed_by
@@ -301,7 +302,13 @@ class Directory:
                     self._group_discard(nid, old)
                 if relayed_by is not None:
                     self._group_add(nid, relayed_by)
-        self._version += 1
+            if changed or old != relayed_by:
+                # A content-equal re-upsert with an unchanged relayer is a
+                # pure freshness bump and must not invalidate the cached
+                # views — a real transport rebuilds every payload from
+                # bytes, so the identity early-out above never fires there
+                # and this path runs once per received heartbeat.
+                self._version += 1
         if relayed_by is None and self._use_fast_path:
             self._note_deadline(nid, entry, now)
         return changed

@@ -15,8 +15,13 @@ cached payload is invalidated by any change to the signature
 ``(record identity, is_leader, suppressed, backup, update_seq)`` — i.e. a
 new incarnation or self-record edit, an election flip, a backup
 re-designation, or an update sent on the channel.  Receivers exploit the
-other direction: ``hb is peer.last_hb`` proves nothing changed and
-short-circuits straight to a directory freshness refresh.
+other direction: an incoming heartbeat that matches ``peer.last_hb``
+proves nothing changed and short-circuits straight to a directory
+freshness refresh.  Inside the simulator the match is the O(1) identity
+test ``hb is peer.last_hb``; over a real transport payloads are rebuilt
+from bytes on every receive, so the receive paths fall back to
+:meth:`Heartbeat.same_as` — content equality with the cheap scalar flags
+compared first — and MUST NOT rely on object identity for correctness.
 """
 
 from __future__ import annotations
@@ -63,3 +68,23 @@ class Heartbeat:
     @property
     def node_id(self) -> str:
         return self.record.node_id
+
+    def same_as(self, other: "Heartbeat") -> bool:
+        """Content-equality tuned for the receive fast path.
+
+        Equivalent to ``self == other`` but ordered cheapest-first: the
+        scalar election/stream flags almost always differ when anything
+        differs, so the (dict-comparing) record equality only runs for
+        genuinely unchanged heartbeats — and is skipped entirely when the
+        record travelled by reference.  This is what lets the no-change
+        short-circuit survive a serialization round-trip, where ``is``
+        can never hold.
+        """
+        return (
+            self.update_seq == other.update_seq
+            and self.is_leader == other.is_leader
+            and self.suppressed == other.suppressed
+            and self.level == other.level
+            and self.backup == other.backup
+            and (self.record is other.record or self.record == other.record)
+        )

@@ -80,11 +80,15 @@ class Informer:
         # Every newly-applied op group is relayed — including groups
         # recovered from the piggyback, otherwise a relay point that
         # recovered a lost update would starve its whole subtree of it.
+        # Each group carries its own origin: a piggyback-recovered group
+        # may originate elsewhere than the primary update, and the relay
+        # must re-advertise the true (origin, uid) identity or downstream
+        # dedup would see the same update under two keys.
         applied = 0
-        for uid, ops in outcome.apply:
+        for uid, origin, ops in outcome.apply:
             applied += len(ops)
             self.apply_ops(ops, via=msg.sender)
-            self.relay_ops(uid, msg.origin, ops, from_level=level)
+            self.relay_ops(uid, origin, ops, from_level=level)
         if applied:
             obs.update_ops.add(applied)
         if outcome.need_sync:
@@ -162,12 +166,18 @@ class Informer:
                         member_up.inc()
                         runtime.emit_view_event("member_up", rec.node_id)
                         continue
-                    if entry.record is rec:
-                        # Identical stored object: with a direct entry or
-                        # an unchanged voucher this is absorb_record's
-                        # bare-timestamp-bump case (takeover analysis
-                        # provably keeps ``relayed_by`` when it equals
-                        # ``via``; direct knowledge always outranks).
+                    stored = entry.record
+                    if stored is rec or stored == rec:
+                        # Identical stored payload — by identity when the
+                        # record travelled by reference inside the
+                        # simulator, by content after a wire round-trip
+                        # (equal content implies equal incarnation, so the
+                        # freshness guard holds either way).  With a
+                        # direct entry or an unchanged voucher this is
+                        # absorb_record's bare-timestamp-bump case
+                        # (takeover analysis provably keeps ``relayed_by``
+                        # when it equals ``via``; direct knowledge always
+                        # outranks).
                         rb = entry.relayed_by
                         if rb is None or rb == via:
                             entry.last_refresh = now
@@ -458,10 +468,11 @@ class Informer:
                 relayed_by = via
             else:
                 relayed_by = current
-        if existing is record:
-            # Same object as stored (payloads travel by reference in the
-            # simulator): a pure freshness/attribution refresh, skipping
-            # the deep-equality upsert path — the hot case during
+        if existing is record or existing == record:
+            # Same payload as stored — identical object when records
+            # travel by reference in the simulator, equal content after a
+            # serialized round-trip: a pure freshness/attribution
+            # refresh, skipping the upsert path — the hot case during
             # formation-time announce floods.  An unchanged relayer (the
             # overwhelmingly common sub-case) is a bare timestamp bump on
             # the entry we already hold.

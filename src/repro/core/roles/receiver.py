@@ -73,7 +73,14 @@ class Receiver:
                     group = groups[level]
                     nid = hb.record.node_id
                     peer = group.peers.get(nid)
-                    if peer is not None and hb is peer.last_hb:
+                    # No-change match: identity when the payload travelled
+                    # by reference (simulator), content otherwise (wire) —
+                    # never identity alone, which a serialization
+                    # round-trip silently breaks.
+                    if peer is not None and (
+                        hb is peer.last_hb
+                        or (peer.last_hb is not None and hb.same_as(peer.last_hb))
+                    ):
                         entry = peer.dir_entry
                         if entry is None or not entry.live:
                             entry = entry_view(nid)
@@ -130,7 +137,13 @@ class Receiver:
             nid = hb.record.node_id
             peer = group.peers.get(nid)
             directory = ctx.directory
-            if peer is not None and hb is peer.last_hb:
+            # Same no-change match as the inlined channel handler:
+            # identity first (by-reference payloads), content fallback
+            # (payloads rebuilt from bytes by a real transport).
+            if peer is not None and (
+                hb is peer.last_hb
+                or (peer.last_hb is not None and hb.same_as(peer.last_hb))
+            ):
                 # The directory's main table spans the whole cluster, so
                 # its per-heartbeat probe is the one cache-hostile lookup
                 # left on this path at 10k nodes: use the entry reference

@@ -9,9 +9,10 @@ the tree as **update messages** (Section 3.1.2):
 * A node receiving a *new* update applies it and relays it onto its other
   channels; the leader of the receiving channel additionally echoes it on
   that same channel so overlapped group members beyond the sender's TTL
-  reach still hear it.  Updates carry a globally-unique ``uid`` and every
-  node processes each uid once, so relays terminate and redundant
-  deliveries are harmless (the paper's idempotence argument).
+  reach still hear it.  Updates carry a ``(origin, uid)`` pair that is
+  globally unique by content (the originating node plus its own counter)
+  and every node processes each pair once, so relays terminate and
+  redundant deliveries are harmless (the paper's idempotence argument).
 * Loss handling: each (sender, channel) stream is sequence-numbered and
   every message piggybacks the last ``piggyback_depth`` updates, tolerating
   that many consecutive losses; a larger gap triggers a full directory
@@ -63,10 +64,14 @@ class UpdateOp:
 class UpdateMessage:
     """One update datagram on one channel.
 
-    ``seq`` numbers the (sender, channel) stream hop-by-hop; ``uid`` and
-    ``origin`` identify the logical update end-to-end for deduplication.
-    ``piggyback`` carries ``(seq, uid, ops)`` of the sender's previous
-    updates on this channel.
+    ``seq`` numbers the (sender, channel) stream hop-by-hop; ``(origin,
+    uid)`` identifies the logical update end-to-end for deduplication —
+    ``uid`` alone is only unique within the originator's process, so two
+    real daemons whose counters both start at 1 would otherwise swallow
+    each other's updates.  ``piggyback`` carries ``(seq, uid, origin,
+    ops)`` of the sender's previous updates on this channel; each entry
+    keeps the *true* originator of that update (a piggybacked entry may
+    be a relay of someone else's change).
     """
 
     uid: int
@@ -75,11 +80,11 @@ class UpdateMessage:
     level: int
     seq: int
     ops: Tuple[UpdateOp, ...]
-    piggyback: Tuple[Tuple[int, int, Tuple[UpdateOp, ...]], ...] = ()
+    piggyback: Tuple[Tuple[int, int, str, Tuple[UpdateOp, ...]], ...] = ()
 
     def size(self, member_size: int, header_size: int) -> int:
         total = header_size + sum(op.size(member_size) for op in self.ops)
-        for _seq, _uid, ops in self.piggyback:
+        for _seq, _uid, _origin, ops in self.piggyback:
             total += sum(op.size(member_size) for op in ops)
         return total
 
@@ -88,8 +93,10 @@ class UpdateMessage:
 class RecvOutcome:
     """Result of processing one incoming update message."""
 
-    #: op groups to apply, oldest first (may include recovered piggyback)
-    apply: List[Tuple[int, Tuple[UpdateOp, ...]]] = field(default_factory=list)
+    #: ``(uid, origin, ops)`` groups to apply, oldest first (may include
+    #: recovered piggyback); ``origin`` is the true originator of each
+    #: group so relays re-advertise the right end-to-end identity.
+    apply: List[Tuple[int, str, Tuple[UpdateOp, ...]]] = field(default_factory=list)
     #: True when a gap exceeded the piggyback depth: poll the sender
     need_sync: bool = False
     #: True when this message's primary update was new (should be relayed)
@@ -106,14 +113,22 @@ DEFAULT_SEEN_UID_WINDOW = 4096
 class UpdateManager:
     """Per-node bookkeeping for the update sub-protocol.
 
-    ``seen_uid_window`` bounds the uid-deduplication memory: uids are kept
+    ``seen_uid_window`` bounds the uid-deduplication memory: keys are kept
     in an insertion-ordered window and the oldest are evicted once the
     window overflows, so long-running nodes no longer leak memory linearly
-    in cluster churn.  The window only needs to cover uids that can still
-    arrive late — bounded by piggyback depth times fan-in in practice — and
-    an evicted uid that *does* straggle back is merely re-applied, which
-    the paper's idempotence argument makes harmless ("redundant messages
-    will not cause confusion").
+    in cluster churn.  The window only needs to cover updates that can
+    still arrive late — bounded by piggyback depth times fan-in in
+    practice — and an evicted key that *does* straggle back is merely
+    re-applied, which the paper's idempotence argument makes harmless
+    ("redundant messages will not cause confusion").
+
+    Deduplication keys on ``(origin, uid)`` *content*, never on payload
+    identity and never on the bare uid: uids are allocated by a counter in
+    the originating process, so two real daemons (or a process restart)
+    can both emit uid 1 — the originator id disambiguates.  Inside one
+    simulator process uids happen to be globally unique, which makes the
+    keyed and bare forms indistinguishable there (the golden traces pin
+    this).
     """
 
     def __init__(
@@ -133,16 +148,17 @@ class UpdateManager:
         self._uid_alloc = uid_alloc
         # outgoing per-channel state
         self._next_seq: Dict[int, int] = {}
-        self._recent: Dict[int, List[Tuple[int, int, Tuple[UpdateOp, ...]]]] = {}
+        self._recent: Dict[int, List[Tuple[int, int, str, Tuple[UpdateOp, ...]]]] = {}
         # incoming stream positions: level -> sender -> last seen seq.
         # Nested (not tuple-keyed) so the per-heartbeat behind() check
         # needs no key allocation, and the per-level map has a *stable
         # identity* (cleared in place, never replaced) that the receive
         # fast path can capture once per channel subscription.
         self._last_seen: Dict[int, Dict[str, int]] = {}
-        # uids already applied/relayed: insertion-ordered (dict preserves
-        # insertion order) so eviction drops the oldest first
-        self._seen_uids: Dict[int, None] = {}
+        # (origin, uid) keys already applied/relayed: insertion-ordered
+        # (dict preserves insertion order) so eviction drops the oldest
+        # first
+        self._seen_uids: Dict[Tuple[str, int], None] = {}
 
     def reset(self) -> None:
         """Forget everything (daemon restart)."""
@@ -176,30 +192,32 @@ class UpdateManager:
         seq = self._next_seq.get(level, 0) + 1
         self._next_seq[level] = seq
         msg_uid = uid if uid is not None else self.new_uid()
+        msg_origin = origin if origin is not None else self.node_id
         recent = self._recent.setdefault(level, [])
         msg = UpdateMessage(
             uid=msg_uid,
-            origin=origin if origin is not None else self.node_id,
+            origin=msg_origin,
             sender=self.node_id,
             level=level,
             seq=seq,
             ops=tuple(ops),
             piggyback=tuple(recent[-self.piggyback_depth :]),
         )
-        recent.append((seq, msg_uid, tuple(ops)))
+        recent.append((seq, msg_uid, msg_origin, tuple(ops)))
         if len(recent) > self.piggyback_depth:
             del recent[: len(recent) - self.piggyback_depth]
         # Anything we send is by definition known to us.
-        self.mark_seen(msg_uid)
+        self.mark_seen(msg_origin, msg_uid)
         return msg
 
-    def mark_seen(self, uid: int) -> None:
+    def mark_seen(self, origin: str, uid: int) -> None:
         seen = self._seen_uids
-        if uid in seen:
+        key = (origin, uid)
+        if key in seen:
             return
-        seen[uid] = None
+        seen[key] = None
         if len(seen) > self.seen_uid_window:
-            # Evict the oldest remembered uids (insertion order).
+            # Evict the oldest remembered keys (insertion order).
             overflow = len(seen) - self.seen_uid_window
             for old in list(itertools.islice(iter(seen), overflow)):
                 del seen[old]
@@ -210,8 +228,8 @@ class UpdateManager:
     def receive(self, msg: UpdateMessage) -> RecvOutcome:
         """Process sequence numbers, piggyback recovery and deduplication.
 
-        The caller applies ``outcome.apply`` op groups (uid-deduplicated
-        already), relays the primary update if ``outcome.relay``, and
+        The caller applies ``outcome.apply`` op groups (deduplicated by
+        ``(origin, uid)`` already), relays the primary update if ``outcome.relay``, and
         issues a directory sync poll to ``msg.sender`` if
         ``outcome.need_sync``.
         """
@@ -224,23 +242,23 @@ class UpdateManager:
             # hole triggers a bootstrap sync.
             last = 0
         if msg.seq <= last:
-            # Duplicate or reordered-behind packet: uid dedup still
-            # applies, and the piggyback may carry updates we never saw —
-            # a reordered-behind message's tail can hold a seq that was
-            # lost, then jumped over by note_synced or a later gap whose
-            # own piggyback no longer reached back that far.  The forward
-            # path recovers these for free; discarding them here threw
-            # the loss-recovery data away.  (Piggybacked seqs are all
-            # < msg.seq, so _last_seen needs no update, and an entry we
-            # did apply before is uid-deduplicated.)
-            for _seq, uid, ops in msg.piggyback:
-                if uid not in self._seen_uids:
-                    self.mark_seen(uid)
-                    outcome.apply.append((uid, ops))
+            # Duplicate or reordered-behind packet: (origin, uid) dedup
+            # still applies, and the piggyback may carry updates we never
+            # saw — a reordered-behind message's tail can hold a seq that
+            # was lost, then jumped over by note_synced or a later gap
+            # whose own piggyback no longer reached back that far.  The
+            # forward path recovers these for free; discarding them here
+            # threw the loss-recovery data away.  (Piggybacked seqs are
+            # all < msg.seq, so _last_seen needs no update, and an entry
+            # we did apply before is deduplicated.)
+            for _seq, uid, origin, ops in msg.piggyback:
+                if (origin, uid) not in self._seen_uids:
+                    self.mark_seen(origin, uid)
+                    outcome.apply.append((uid, origin, ops))
                     outcome.recovered += 1
-            if msg.uid not in self._seen_uids:
-                self.mark_seen(msg.uid)
-                outcome.apply.append((msg.uid, msg.ops))
+            if (msg.origin, msg.uid) not in self._seen_uids:
+                self.mark_seen(msg.origin, msg.uid)
+                outcome.apply.append((msg.uid, msg.origin, msg.ops))
                 outcome.relay = True
             return outcome
 
@@ -248,23 +266,23 @@ class UpdateManager:
             # Gap: try to recover missed seqs from the piggyback.
             missing = set(range(last + 1, msg.seq))
             recovered = {
-                seq: (uid, ops)
-                for seq, uid, ops in msg.piggyback
+                seq: (uid, origin, ops)
+                for seq, uid, origin, ops in msg.piggyback
                 if seq in missing
             }
             if missing - set(recovered):
                 outcome.need_sync = True
             for seq in sorted(recovered):
-                uid, ops = recovered[seq]
-                if uid not in self._seen_uids:
-                    self.mark_seen(uid)
-                    outcome.apply.append((uid, ops))
+                uid, origin, ops = recovered[seq]
+                if (origin, uid) not in self._seen_uids:
+                    self.mark_seen(origin, uid)
+                    outcome.apply.append((uid, origin, ops))
                     outcome.recovered += 1
         stream[msg.sender] = msg.seq
 
-        if msg.uid not in self._seen_uids:
-            self.mark_seen(msg.uid)
-            outcome.apply.append((msg.uid, msg.ops))
+        if (msg.origin, msg.uid) not in self._seen_uids:
+            self.mark_seen(msg.origin, msg.uid)
+            outcome.apply.append((msg.uid, msg.origin, msg.ops))
             outcome.relay = True
         return outcome
 

@@ -87,11 +87,12 @@ class MembershipNode(ABC):
 
     def __init__(
         self,
-        network: Network,
+        network: Optional[Network],
         node_id: str,
         config: Optional[ProtocolConfig] = None,
         services: Sequence[ServiceSpec] = (),
         machine: Optional[MachineInfo] = None,
+        runtime: Optional[NodeRuntime] = None,
     ) -> None:
         self.network = network
         self.node_id = node_id
@@ -102,7 +103,13 @@ class MembershipNode(ABC):
         self.incarnation = 0
         self.directory = Directory(node_id)
         self.running = False
-        self.runtime: NodeRuntime = SimRuntime(network, node_id)
+        # The runtime seam: protocol stacks talk only to the NodeRuntime
+        # ports, so the same stack runs under the simulator (default) or a
+        # real transport (``repro.runtime.anet.AsyncRuntime``).  When a
+        # runtime is injected, ``network`` may be None.
+        self.runtime: NodeRuntime = (
+            runtime if runtime is not None else SimRuntime(network, node_id)
+        )
         self.rng = self.runtime.rng_stream(f"proto.{node_id}")
         self._self_record_cache: Optional[NodeRecord] = None
 

@@ -1,0 +1,509 @@
+"""The real-network adapter: :class:`NodeRuntime` over asyncio/UDP.
+
+Where :class:`~repro.runtime.sim.SimRuntime` maps the ports onto the
+discrete-event kernel, :class:`AsyncRuntime` maps the *same* ports onto
+an asyncio event loop and one UDP socket per daemon:
+
+* **clock** — the loop's monotonic clock, rebased so ``now`` starts near
+  zero at :meth:`AsyncRuntime.start` (traces stay comparable to sim
+  runs);
+* **timers** — one-shots via ``loop.call_later`` with the same epoch
+  guard as the simulator (scheduled-in-one-life never fires into the
+  next); recurring timers reimplement the
+  :class:`~repro.sim.engine.RecurringTimer` contract exactly — first
+  fire at ``now + (first_delay if given else period)``, re-arm at
+  ``fire_time + period`` *after* the callback so a self-cancelling
+  callback stops cleanly, and no epoch guard (they belong to the life,
+  not the incarnation);
+* **unicast** — datagrams to the peer's address from the
+  :class:`ClusterSpec` address book, framed by :mod:`repro.runtime.wire`
+  and dispatched to the bound handler by port name;
+* **multicast** — there is no usable IP multicast on a loopback test
+  rig, so TTL-scoped channels go through the channel relay
+  (:mod:`repro.runtime.relay`): ``publish`` sends one framed datagram to
+  the relay, which fans out to every subscriber within TTL distance and
+  never back to the sender (matching the simulated fabric).
+
+The runtime must be started inside a running event loop
+(``await runtime.start()``) before any protocol ``start()`` schedules
+timers or sends datagrams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.net.packet import Packet
+from repro.obs.wiring import NOOP, Instruments
+from repro.runtime.ports import NodeRuntime, PacketHandler, TimerHandle
+from repro.runtime.wire import WireError, decode_packet, encode_packet
+from repro.sim.trace import Trace
+
+__all__ = [
+    "AsyncRuntime",
+    "ClusterSpec",
+    "NodeSpec",
+    "RelaySpec",
+    "RELAY_DST",
+    "RELAY_SUB",
+    "RELAY_UNSUB",
+]
+
+#: Pseudo-destination for relay control datagrams (a Packet must carry
+#: exactly one of dst/channel; control traffic is unicast to the relay).
+RELAY_DST = "__relay__"
+
+#: Relay control packet kinds.
+RELAY_SUB = "relay_sub"
+RELAY_UNSUB = "relay_unsub"
+
+#: How often a daemon re-announces its subscriptions to the relay.  UDP
+#: control datagrams can be lost; periodic re-announce makes membership
+#: in the fan-out tables soft state, healed within one period.
+REANNOUNCE_PERIOD = 2.0
+
+
+# ----------------------------------------------------------------------
+# Cluster specification (the address book)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class NodeSpec:
+    """One daemon's addresses: UDP endpoint, HTTP port, LAN segment."""
+
+    host: str
+    port: int
+    http_port: int = 0
+    segment: str = "s0"
+
+
+@dataclass(frozen=True, slots=True)
+class RelaySpec:
+    """The channel relay's UDP endpoint."""
+
+    host: str
+    port: int
+
+
+@dataclass(slots=True)
+class ClusterSpec:
+    """Static description of a deployed cluster.
+
+    Real deployments would discover addresses via the bootstrap channel;
+    for the localhost harness a JSON spec file stands in: the relay
+    endpoint, every node's addresses, the segment layout, and protocol
+    config overrides applied uniformly by the daemon entrypoint.
+    """
+
+    relay: RelaySpec
+    nodes: Dict[str, NodeSpec]
+    #: Routers on the path between two *distinct* segments.  The default
+    #: mirrors the standard LAN builder: per-segment switch plus one core
+    #: router, so same-segment distance is 1 and cross-segment is 2.
+    routers_between_segments: int = 1
+    #: ``HierarchicalConfig`` field overrides (e.g. ``heartbeat_period``).
+    config: Dict[str, Any] = field(default_factory=dict)
+
+    def ttl_distance(self, seg_a: str, seg_b: str) -> int:
+        """TTL distance between two segments: ``1 + routers on path``."""
+        if seg_a == seg_b:
+            return 1
+        return 1 + self.routers_between_segments
+
+    def addr(self, node_id: str) -> Optional[Tuple[str, int]]:
+        spec = self.nodes.get(node_id)
+        if spec is None:
+            return None
+        return (spec.host, spec.port)
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "ClusterSpec":
+        relay_raw = raw["relay"]
+        nodes: Dict[str, NodeSpec] = {}
+        for node_id, ns in raw["nodes"].items():
+            nodes[node_id] = NodeSpec(
+                host=ns["host"],
+                port=int(ns["port"]),
+                http_port=int(ns.get("http_port", 0)),
+                segment=str(ns.get("segment", "s0")),
+            )
+        return cls(
+            relay=RelaySpec(host=relay_raw["host"], port=int(relay_raw["port"])),
+            nodes=nodes,
+            routers_between_segments=int(raw.get("routers_between_segments", 1)),
+            config=dict(raw.get("config", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClusterSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "ClusterSpec":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "relay": {"host": self.relay.host, "port": self.relay.port},
+            "routers_between_segments": self.routers_between_segments,
+            "config": dict(self.config),
+            "nodes": {
+                node_id: {
+                    "host": ns.host,
+                    "port": ns.port,
+                    "http_port": ns.http_port,
+                    "segment": ns.segment,
+                }
+                for node_id, ns in self.nodes.items()
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Timer handles
+# ----------------------------------------------------------------------
+class _OneShot:
+    """Epoch-guarded one-shot over ``loop.call_later``."""
+
+    __slots__ = ("cancelled", "_handle")
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self._handle: Optional[asyncio.TimerHandle] = None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+
+class _Recurring:
+    """Mirror of :class:`repro.sim.engine.RecurringTimer` over asyncio.
+
+    Fires at ``start + first_delay`` then every ``period`` of *scheduled*
+    time (re-armed at ``fire_time + period``, not ``now + period``, so
+    slow callbacks do not drift the cadence).  Re-arm happens after the
+    callback returns: a callback that cancels its own timer is never
+    rescheduled.
+    """
+
+    __slots__ = ("cancelled", "_runtime", "_period", "_fn", "_args", "_next", "_handle")
+
+    def __init__(
+        self,
+        runtime: "AsyncRuntime",
+        period: float,
+        fn: Callable[..., object],
+        args: Tuple[object, ...],
+        first_delay: Optional[float],
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"recurring timer period must be positive, got {period}")
+        if first_delay is not None and first_delay < 0:
+            raise ValueError(f"first_delay must be >= 0, got {first_delay}")
+        self.cancelled = False
+        self._runtime = runtime
+        self._period = period
+        self._fn = fn
+        self._args = args
+        delay = period if first_delay is None else first_delay
+        self._next = runtime.now + delay
+        self._handle = runtime._call_at(self._next, self._fire)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self._fn(*self._args)
+        if self.cancelled:
+            return
+        self._next += self._period
+        self._handle = self._runtime._call_at(self._next, self._fire)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self._handle.cancel()
+
+
+class _NodeProtocol(asyncio.DatagramProtocol):
+    """Feeds received datagrams into the runtime's dispatcher."""
+
+    def __init__(self, runtime: "AsyncRuntime") -> None:
+        self._runtime = runtime
+
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        self._runtime._on_datagram(data)
+
+
+# ----------------------------------------------------------------------
+# The adapter
+# ----------------------------------------------------------------------
+class AsyncRuntime(NodeRuntime):
+    """One daemon's runtime over a real asyncio event loop and UDP."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        node_id: str,
+        *,
+        trace: Optional[Trace] = None,
+        instruments: Optional[Instruments] = None,
+        seed: int = 0,
+    ) -> None:
+        if node_id not in spec.nodes:
+            raise ValueError(f"node {node_id!r} not in cluster spec")
+        self.spec = spec
+        self.node_id = node_id
+        self.segment = spec.nodes[node_id].segment
+        self._trace = trace
+        self._obs = instruments if instruments is not None else NOOP
+        self._seed = seed
+        self._active = False
+        self._epoch = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._t0 = 0.0
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._oneshots: Set[_OneShot] = set()
+        self._recurring: List[_Recurring] = []
+        self._subs: Dict[str, PacketHandler] = {}
+        self._bound: Dict[str, PacketHandler] = {}
+        self._reannounce: Optional[asyncio.TimerHandle] = None
+        #: Datagrams dropped because they failed to decode.
+        self.wire_errors = 0
+
+    # ------------------------------------------------------------------
+    # Transport lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the UDP endpoint and begin relay re-announcements."""
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._t0 = loop.time()
+        node = self.spec.nodes[self.node_id]
+        transport, _ = await loop.create_datagram_endpoint(
+            lambda: _NodeProtocol(self), local_addr=(node.host, node.port)
+        )
+        self._transport = transport
+        self._schedule_reannounce()
+
+    def close(self) -> None:
+        """Tear down: deactivate, stop re-announce, close the socket."""
+        self.deactivate()
+        if self._reannounce is not None:
+            self._reannounce.cancel()
+            self._reannounce = None
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    def _lp(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            raise RuntimeError("AsyncRuntime.start() must run before use")
+        return self._loop
+
+    def _call_at(self, when: float, fn: Callable[[], None]) -> asyncio.TimerHandle:
+        loop = self._lp()
+        return loop.call_at(self._t0 + when, fn)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        if self._loop is None:
+            return 0.0
+        return self._loop.time() - self._t0
+
+    # ------------------------------------------------------------------
+    # Lifecycle / epochs
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def activate(self) -> None:
+        self._active = True
+        self._epoch += 1
+
+    def deactivate(self) -> None:
+        self._active = False
+        for oneshot in list(self._oneshots):
+            oneshot.cancel()
+        self._oneshots.clear()
+        for timer in self._recurring:
+            timer.cancel()
+        self._recurring.clear()
+
+    def bump_epoch(self) -> None:
+        self._epoch += 1
+
+    @property
+    def live_timers(self) -> int:
+        return sum(1 for t in self._oneshots if not t.cancelled) + sum(
+            1 for t in self._recurring if not t.cancelled
+        )
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def call_once(
+        self, delay: float, fn: Callable[..., object], *args: object
+    ) -> TimerHandle:
+        if delay < 0:
+            raise ValueError(f"one-shot delay must be >= 0, got {delay}")
+        epoch = self._epoch
+        timer = _OneShot()
+
+        def fire() -> None:
+            self._oneshots.discard(timer)
+            if self._active and self._epoch == epoch:
+                fn(*args)
+
+        timer._handle = self._lp().call_later(delay, fire)
+        self._oneshots.add(timer)
+        return timer
+
+    def call_every(
+        self,
+        period: float,
+        fn: Callable[..., object],
+        *args: object,
+        first_delay: Optional[float] = None,
+    ) -> TimerHandle:
+        self._lp()
+        timer = _Recurring(self, period, fn, args, first_delay)
+        self._recurring.append(timer)
+        return timer
+
+    # ------------------------------------------------------------------
+    # Datagram dispatch
+    # ------------------------------------------------------------------
+    def _on_datagram(self, data: bytes) -> None:
+        try:
+            pkt, port = decode_packet(data)
+        except WireError:
+            self.wire_errors += 1
+            self.emit("wire_error", bytes_len=len(data))
+            return
+        if port is not None:
+            handler = self._bound.get(port)
+            if handler is not None and pkt.dst == self.node_id:
+                handler(pkt)
+        elif pkt.channel is not None:
+            # The relay never echoes to the sender, but a misbehaving
+            # relay must not let a node hear itself.
+            handler = self._subs.get(pkt.channel)
+            if handler is not None and pkt.src != self.node_id:
+                handler(pkt)
+
+    def _sendto(self, data: bytes, addr: Tuple[str, int]) -> bool:
+        transport = self._transport
+        if transport is None or transport.is_closing():
+            return False
+        transport.sendto(data, addr)
+        return True
+
+    # ------------------------------------------------------------------
+    # Multicast channels (via the relay)
+    # ------------------------------------------------------------------
+    def _relay_addr(self) -> Tuple[str, int]:
+        return (self.spec.relay.host, self.spec.relay.port)
+
+    def _announce(self) -> None:
+        """(Re-)send the full subscription set to the relay."""
+        if not self._subs or self._transport is None:
+            return
+        pkt = Packet(
+            src=self.node_id,
+            kind=RELAY_SUB,
+            payload={
+                "node": self.node_id,
+                "segment": self.segment,
+                "channels": sorted(self._subs),
+            },
+            size=0,
+            dst=RELAY_DST,
+        )
+        self._sendto(encode_packet(pkt), self._relay_addr())
+
+    def _schedule_reannounce(self) -> None:
+        loop = self._lp()
+
+        def tick() -> None:
+            self._announce()
+            self._reannounce = loop.call_later(REANNOUNCE_PERIOD, tick)
+
+        self._reannounce = loop.call_later(REANNOUNCE_PERIOD, tick)
+
+    def subscribe(self, channel: str, handler: PacketHandler) -> None:
+        self._subs[channel] = handler
+        self._announce()
+
+    def unsubscribe(self, channel: str) -> None:
+        self._subs.pop(channel, None)
+        pkt = Packet(
+            src=self.node_id,
+            kind=RELAY_UNSUB,
+            payload={"node": self.node_id, "channels": [channel]},
+            size=0,
+            dst=RELAY_DST,
+        )
+        self._sendto(encode_packet(pkt), self._relay_addr())
+
+    def publish(
+        self, channel: str, ttl: int, kind: str, payload: object, size: int
+    ) -> bool:
+        pkt = Packet(
+            src=self.node_id,
+            kind=kind,
+            payload=payload,
+            size=size,
+            channel=channel,
+            ttl=ttl,
+        )
+        return self._sendto(encode_packet(pkt), self._relay_addr())
+
+    # ------------------------------------------------------------------
+    # Unicast datagrams
+    # ------------------------------------------------------------------
+    def bind(self, port: str, handler: PacketHandler) -> None:
+        self._bound[port] = handler
+
+    def unbind(self, port: str) -> None:
+        self._bound.pop(port, None)
+
+    def send(
+        self, dst: str, kind: str, payload: object, size: int, port: str = "membership"
+    ) -> bool:
+        addr = self.spec.addr(dst)
+        if addr is None:
+            # Refused locally: no address for the destination.  The port
+            # contract makes this the only meaningful False.
+            return False
+        pkt = Packet(src=self.node_id, kind=kind, payload=payload, size=size, dst=dst)
+        return self._sendto(encode_packet(pkt, port), addr)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def obs(self) -> Instruments:
+        return self._obs
+
+    def emit(self, kind: str, **data: object) -> None:
+        trace = self._trace
+        if trace is not None and trace.wants(kind):
+            trace.emit(self.now, kind, node=self.node_id, **data)
+
+    # ------------------------------------------------------------------
+    # Randomness
+    # ------------------------------------------------------------------
+    def rng_stream(self, name: str) -> random.Random:
+        # Stable across processes (no PYTHONHASHSEED dependence): each
+        # named stream derives from the deployment seed and a CRC of the
+        # stream name.
+        return random.Random((self._seed << 32) ^ zlib.crc32(name.encode("utf-8")))

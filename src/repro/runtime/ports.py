@@ -127,8 +127,17 @@ class NodeRuntime(ABC):
     @abstractmethod
     def publish(
         self, channel: str, ttl: int, kind: str, payload: object, size: int
-    ) -> int:
-        """TTL-scoped multicast from this node; returns deliveries scheduled."""
+    ) -> bool:
+        """TTL-scoped multicast from this node.
+
+        Returns True when the datagram was *accepted for send* — handed to
+        the transport with a live local endpoint.  Nothing more: delivery
+        counts, receiver liveness and loss are simulator-only knowledge a
+        real transport cannot provide, so protocol code must never branch
+        on how many peers (if any) a publish reached.  Reliability lives
+        in the protocol itself (heartbeat repetition, piggyback recovery,
+        sync polls), not in this return value.
+        """
 
     # ------------------------------------------------------------------
     # Unicast datagrams
@@ -145,7 +154,16 @@ class NodeRuntime(ABC):
     def send(
         self, dst: str, kind: str, payload: object, size: int, port: str = "membership"
     ) -> bool:
-        """Unicast a datagram to a host or virtual address."""
+        """Unicast a datagram to a host or virtual address.
+
+        Returns True when the datagram was *accepted for send* — the
+        destination resolved to an address and the bytes were handed to
+        the transport.  False means the send was refused locally (unknown
+        destination, endpoint closed); True promises nothing about
+        delivery, which only the simulator could ever know.  As with
+        :meth:`publish`, protocol code must not treat the return value as
+        a delivery report.
+        """
 
     # ------------------------------------------------------------------
     # Observability

@@ -1,0 +1,169 @@
+"""The channel relay: TTL-scoped multicast over localhost UDP.
+
+IP multicast is unreliable-to-unavailable on a loopback test rig (and in
+most container environments), so the real-network harness replaces the
+switch/router fabric with one small relay process.  Daemons announce
+their channel subscriptions (``relay_sub`` control datagrams, re-sent
+periodically so the tables are soft state); a published channel datagram
+is forwarded — as the *original bytes*, the relay never re-encodes — to
+every subscriber within TTL distance of the sender, and never back to
+the sender itself, matching the simulated fabric's semantics.
+
+TTL distance mirrors :func:`repro.net.topology.Topology` on the standard
+LAN layout: ``1`` between nodes on the same segment (one switch hop),
+``1 + routers_between_segments`` across segments.  With the default of
+one core router, a TTL-1 (level-0) heartbeat reaches only the sender's
+segment while TTL-2+ channels span the cluster — exactly the scoping the
+hierarchical protocol's group levels rely on.
+
+Run as a process::
+
+    python -m repro.runtime.relay --spec cluster.json
+
+The relay prints ``relay ready on HOST:PORT`` to stdout once bound, so
+launchers can wait for it before booting daemons.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+from typing import Dict, List, Optional, Tuple, cast
+
+from repro.runtime.anet import RELAY_SUB, RELAY_UNSUB, ClusterSpec
+from repro.runtime.wire import WireError, decode_packet
+
+__all__ = ["ChannelRelay", "main"]
+
+
+class ChannelRelay(asyncio.DatagramProtocol):
+    """Fan-out state machine behind one UDP socket."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        #: node -> (last seen address, segment)
+        self.members: Dict[str, Tuple[Tuple[str, int], str]] = {}
+        #: channel -> subscriber node ids (insertion-ordered)
+        self.channels: Dict[str, Dict[str, None]] = {}
+        #: datagrams dropped because they failed to decode
+        self.wire_errors = 0
+        self._transport: Optional[asyncio.DatagramTransport] = None
+
+    # -- asyncio protocol ----------------------------------------------
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        # Not isinstance-checked: CPython's selector event loop hands a
+        # _SelectorDatagramTransport that does not subclass
+        # asyncio.DatagramTransport (bpo-46756 lineage).
+        self._transport = cast(asyncio.DatagramTransport, transport)
+
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        try:
+            pkt, _port = decode_packet(data)
+        except WireError:
+            self.wire_errors += 1
+            return
+        if pkt.kind == RELAY_SUB:
+            self._on_sub(pkt.payload, addr)
+        elif pkt.kind == RELAY_UNSUB:
+            self._on_unsub(pkt.payload)
+        elif pkt.channel is not None:
+            self._forward(data, pkt.src, pkt.channel, pkt.ttl, addr)
+
+    # -- control -------------------------------------------------------
+    def _on_sub(self, payload: object, addr: Tuple[str, int]) -> None:
+        if not isinstance(payload, dict):
+            return
+        node = payload.get("node")
+        segment = payload.get("segment")
+        channels = payload.get("channels")
+        if not isinstance(node, str) or not isinstance(segment, str):
+            return
+        if not isinstance(channels, list):
+            return
+        self.members[node] = (addr, segment)
+        for channel in channels:
+            if isinstance(channel, str):
+                self.channels.setdefault(channel, {})[node] = None
+
+    def _on_unsub(self, payload: object) -> None:
+        if not isinstance(payload, dict):
+            return
+        node = payload.get("node")
+        channels = payload.get("channels")
+        if not isinstance(node, str) or not isinstance(channels, list):
+            return
+        for channel in channels:
+            subs = self.channels.get(channel)
+            if subs is not None:
+                subs.pop(node, None)
+
+    # -- fan-out -------------------------------------------------------
+    def _forward(
+        self,
+        data: bytes,
+        src: str,
+        channel: str,
+        ttl: int,
+        src_addr: Tuple[str, int],
+    ) -> None:
+        transport = self._transport
+        if transport is None:
+            return
+        sender = self.members.get(src)
+        # A publish can race the first relay_sub; the sender's datagram
+        # source address plus its spec segment keep scoping correct.
+        if sender is not None:
+            src_segment = sender[1]
+        else:
+            node_spec = self.spec.nodes.get(src)
+            src_segment = node_spec.segment if node_spec is not None else ""
+        subs = self.channels.get(channel)
+        if not subs:
+            return
+        for node in subs:
+            if node == src:
+                continue  # the fabric never echoes to the sender
+            member = self.members.get(node)
+            if member is None:
+                continue
+            addr, segment = member
+            if src_segment and self.spec.ttl_distance(src_segment, segment) > ttl:
+                continue
+            transport.sendto(data, addr)
+
+
+async def serve(spec: ClusterSpec, host: str, port: int) -> ChannelRelay:
+    """Bind the relay socket; returns the live protocol instance."""
+    loop = asyncio.get_running_loop()
+    relay = ChannelRelay(spec)
+    await loop.create_datagram_endpoint(lambda: relay, local_addr=(host, port))
+    return relay
+
+
+async def _run(spec_path: str, host: Optional[str], port: Optional[int]) -> None:
+    spec = ClusterSpec.load(spec_path)
+    bind_host = host if host is not None else spec.relay.host
+    bind_port = port if port is not None else spec.relay.port
+    await serve(spec, bind_host, bind_port)
+    print(f"relay ready on {bind_host}:{bind_port}", flush=True)
+    await asyncio.Event().wait()  # run until killed
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.relay",
+        description="TTL-scoped channel relay for real-network clusters",
+    )
+    parser.add_argument("--spec", required=True, help="cluster spec JSON path")
+    parser.add_argument("--host", default=None, help="bind host (default: spec)")
+    parser.add_argument("--port", type=int, default=None, help="bind port (default: spec)")
+    opts = parser.parse_args(argv)
+    try:
+        asyncio.run(_run(opts.spec, opts.host, opts.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -133,10 +133,14 @@ class SimRuntime(NodeRuntime):
 
     def publish(
         self, channel: str, ttl: int, kind: str, payload: object, size: int
-    ) -> int:
-        return self.network.multicast(
+    ) -> bool:
+        # The fabric reports deliveries scheduled — simulator-only
+        # knowledge that the port contract deliberately hides ("accepted
+        # for send"); callers wanting delivery data read the trace/obs.
+        self.network.multicast(
             self.node_id, channel, ttl=ttl, kind=kind, payload=payload, size=size
         )
+        return True
 
     # ------------------------------------------------------------------
     # Unicast datagrams
@@ -150,9 +154,13 @@ class SimRuntime(NodeRuntime):
     def send(
         self, dst: str, kind: str, payload: object, size: int, port: str = "membership"
     ) -> bool:
-        return self.network.unicast(
+        # Same contract note as ``publish``: the transport's return value
+        # (delivery scheduled or dropped) is simulator-only knowledge and
+        # is deliberately not surfaced through the port.
+        self.network.unicast(
             self.node_id, dst, kind=kind, payload=payload, size=size, port=port
         )
+        return True
 
     # ------------------------------------------------------------------
     # Observability

@@ -1,0 +1,378 @@
+"""Versioned wire codec for membership datagrams.
+
+The simulator hands payload *objects* between nodes by reference; a real
+transport hands **bytes**.  This module is the boundary: a small, tagged,
+length-prefixed binary encoding for every payload the protocols put on
+the wire — heartbeats, update messages (with piggyback), sync polls and
+snapshots, plus the relay control messages of
+:mod:`repro.runtime.relay`.
+
+Frame layout::
+
+    +-------+---------+-------------------+----------------------+
+    | magic | version | body length (u32) | body (tagged values) |
+    |  2 B  |   1 B   |        4 B        |                      |
+    +-------+---------+-------------------+----------------------+
+
+The body is one tagged value.  Every value is ``tag byte`` + payload;
+containers carry a u32 element count.  Domain types (``NodeRecord``,
+``Heartbeat``, ``UpdateMessage``, ``UpdateOp``) get their own tags so a
+decoded payload is *the same Python type* the protocol code produced —
+the roles never learn whether a packet travelled by reference or by
+bytes.
+
+Design constraints:
+
+* **Versioned** — the version byte is checked before anything else, so a
+  rolling upgrade that changes the encoding fails loudly instead of
+  corrupting directories.
+* **Canonical** — ``frozenset`` elements are sorted before encoding, so
+  identical payloads always produce identical bytes (content-keyed
+  deduplication must survive serialization).
+* **Strict** — unknown tags, unknown types, truncated frames and
+  trailing garbage all raise :class:`WireError`; a malformed datagram is
+  dropped by the caller, never half-applied.
+
+No dependency on asyncio or sockets: the codec is pure functions over
+``bytes`` and is exercised directly by ``tests/runtime/test_wire.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.directory import NodeRecord
+from repro.core.heartbeat import Heartbeat
+from repro.core.updates import UpdateMessage, UpdateOp
+from repro.net.packet import Packet
+
+__all__ = [
+    "WIRE_VERSION",
+    "WireError",
+    "encode_packet",
+    "decode_packet",
+    "encode_value",
+    "decode_value",
+]
+
+#: Frame magic: identifies a membership datagram before version checks.
+MAGIC = b"RM"
+
+#: Current encoding version.  Bump on any change to tags or layouts.
+WIRE_VERSION = 1
+
+_HEADER = struct.Struct(">2sBI")
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+class WireError(ValueError):
+    """A datagram could not be encoded or decoded."""
+
+
+# ----------------------------------------------------------------------
+# Value encoding
+# ----------------------------------------------------------------------
+def _enc_str(out: bytearray, s: str) -> None:
+    raw = s.encode("utf-8")
+    out += _U32.pack(len(raw))
+    out += raw
+
+
+def _enc(out: bytearray, value: Any) -> None:
+    if value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif type(value) is int:
+        if not (_I64_MIN <= value <= _I64_MAX):
+            raise WireError(f"integer out of i64 range: {value}")
+        out += b"i"
+        out += _I64.pack(value)
+    elif type(value) is float:
+        out += b"f"
+        out += _F64.pack(value)
+    elif type(value) is str:
+        out += b"s"
+        _enc_str(out, value)
+    elif type(value) is bytes:
+        out += b"b"
+        out += _U32.pack(len(value))
+        out += value
+    elif type(value) is tuple:
+        out += b"t"
+        out += _U32.pack(len(value))
+        for item in value:
+            _enc(out, item)
+    elif type(value) is list:
+        out += b"l"
+        out += _U32.pack(len(value))
+        for item in value:
+            _enc(out, item)
+    elif type(value) is dict:
+        out += b"d"
+        out += _U32.pack(len(value))
+        for key, val in value.items():
+            _enc(out, key)
+            _enc(out, val)
+    elif type(value) is frozenset:
+        out += b"S"
+        out += _U32.pack(len(value))
+        # Canonical bytes: sort elements by their own encoding.
+        encoded: List[bytes] = []
+        for item in value:
+            buf = bytearray()
+            _enc(buf, item)
+            encoded.append(bytes(buf))
+        for raw in sorted(encoded):
+            out += raw
+    elif type(value) is NodeRecord:
+        out += b"R"
+        _enc_str(out, value.node_id)
+        out += _I64.pack(value.incarnation)
+        _enc(out, value.services)
+        _enc(out, value.attrs)
+    elif type(value) is Heartbeat:
+        out += b"H"
+        _enc(out, value.record)
+        out += _I64.pack(value.level)
+        out += b"T" if value.is_leader else b"F"
+        out += b"T" if value.suppressed else b"F"
+        _enc(out, value.backup)
+        out += _I64.pack(value.update_seq)
+    elif type(value) is UpdateOp:
+        out += b"O"
+        _enc_str(out, value.op)
+        _enc_str(out, value.node_id)
+        out += _I64.pack(value.incarnation)
+        _enc(out, value.record)
+    elif type(value) is UpdateMessage:
+        out += b"U"
+        out += _I64.pack(value.uid)
+        _enc_str(out, value.origin)
+        _enc_str(out, value.sender)
+        out += _I64.pack(value.level)
+        out += _I64.pack(value.seq)
+        _enc(out, value.ops)
+        _enc(out, value.piggyback)
+    else:
+        raise WireError(f"unencodable payload type: {type(value).__name__}")
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one value (no frame header).  Raises :class:`WireError`."""
+    out = bytearray()
+    _enc(out, value)
+    return bytes(out)
+
+
+# ----------------------------------------------------------------------
+# Value decoding
+# ----------------------------------------------------------------------
+class _Cursor:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes, pos: int = 0) -> None:
+        self.data = data
+        self.pos = pos
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.data):
+            raise WireError("truncated datagram")
+        raw = self.data[self.pos : end]
+        self.pos = end
+        return raw
+
+    def u32(self) -> int:
+        return int(_U32.unpack(self.take(4))[0])
+
+    def i64(self) -> int:
+        return int(_I64.unpack(self.take(8))[0])
+
+    def str_(self) -> str:
+        raw = self.take(self.u32())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError("invalid utf-8 in string") from exc
+
+    def bool_(self) -> bool:
+        tag = self.take(1)
+        if tag == b"T":
+            return True
+        if tag == b"F":
+            return False
+        raise WireError(f"expected bool tag, got {tag!r}")
+
+
+def _dec(cur: _Cursor) -> Any:
+    tag = cur.take(1)
+    if tag == b"N":
+        return None
+    if tag == b"T":
+        return True
+    if tag == b"F":
+        return False
+    if tag == b"i":
+        return cur.i64()
+    if tag == b"f":
+        return float(_F64.unpack(cur.take(8))[0])
+    if tag == b"s":
+        return cur.str_()
+    if tag == b"b":
+        return cur.take(cur.u32())
+    if tag == b"t":
+        return tuple(_dec(cur) for _ in range(cur.u32()))
+    if tag == b"l":
+        return [_dec(cur) for _ in range(cur.u32())]
+    if tag == b"d":
+        count = cur.u32()
+        out: Dict[Any, Any] = {}
+        for _ in range(count):
+            key = _dec(cur)
+            out[key] = _dec(cur)
+        return out
+    if tag == b"S":
+        return frozenset(_dec(cur) for _ in range(cur.u32()))
+    if tag == b"R":
+        node_id = cur.str_()
+        incarnation = cur.i64()
+        services = _dec(cur)
+        attrs = _dec(cur)
+        if not isinstance(services, dict) or not isinstance(attrs, dict):
+            raise WireError("malformed NodeRecord")
+        return NodeRecord(
+            node_id=node_id, incarnation=incarnation, services=services, attrs=attrs
+        )
+    if tag == b"H":
+        record = _dec(cur)
+        if not isinstance(record, NodeRecord):
+            raise WireError("heartbeat without a NodeRecord")
+        level = cur.i64()
+        is_leader = cur.bool_()
+        suppressed = cur.bool_()
+        backup = _dec(cur)
+        update_seq = cur.i64()
+        if backup is not None and not isinstance(backup, str):
+            raise WireError("malformed heartbeat backup")
+        return Heartbeat(
+            record=record,
+            level=level,
+            is_leader=is_leader,
+            suppressed=suppressed,
+            backup=backup,
+            update_seq=update_seq,
+        )
+    if tag == b"O":
+        op = cur.str_()
+        node_id = cur.str_()
+        incarnation = cur.i64()
+        record = _dec(cur)
+        if record is not None and not isinstance(record, NodeRecord):
+            raise WireError("malformed UpdateOp record")
+        return UpdateOp(op=op, node_id=node_id, incarnation=incarnation, record=record)
+    if tag == b"U":
+        uid = cur.i64()
+        origin = cur.str_()
+        sender = cur.str_()
+        level = cur.i64()
+        seq = cur.i64()
+        ops = _dec(cur)
+        piggyback = _dec(cur)
+        if not isinstance(ops, tuple) or not isinstance(piggyback, tuple):
+            raise WireError("malformed UpdateMessage")
+        return UpdateMessage(
+            uid=uid,
+            origin=origin,
+            sender=sender,
+            level=level,
+            seq=seq,
+            ops=ops,
+            piggyback=piggyback,
+        )
+    raise WireError(f"unknown wire tag {tag!r}")
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode one value (no frame header).  Raises :class:`WireError`."""
+    cur = _Cursor(data)
+    value = _dec(cur)
+    if cur.pos != len(data):
+        raise WireError(f"{len(data) - cur.pos} trailing bytes after value")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Packet framing
+# ----------------------------------------------------------------------
+def encode_packet(pkt: Packet, port: Optional[str] = None) -> bytes:
+    """Frame ``pkt`` for the wire.
+
+    ``port`` is the unicast port name (``None`` for multicast) — the
+    real-transport analogue of the per-port ``bind`` dispatch the
+    simulated transport does by object routing.
+    """
+    body = bytearray()
+    _enc_str(body, pkt.src)
+    _enc_str(body, pkt.kind)
+    _enc(body, pkt.dst)
+    _enc(body, pkt.channel)
+    body += _I64.pack(pkt.ttl)
+    body += _I64.pack(pkt.size)
+    _enc(body, port)
+    _enc(body, pkt.payload)
+    return _HEADER.pack(MAGIC, WIRE_VERSION, len(body)) + bytes(body)
+
+
+def decode_packet(data: bytes) -> Tuple[Packet, Optional[str]]:
+    """Parse one framed datagram into ``(packet, port)``.
+
+    Raises :class:`WireError` on bad magic, version mismatch, truncation
+    or trailing garbage.
+    """
+    if len(data) < _HEADER.size:
+        raise WireError("datagram shorter than frame header")
+    magic, version, length = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise WireError(f"bad magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise WireError(f"wire version {version}, expected {WIRE_VERSION}")
+    if len(data) != _HEADER.size + length:
+        raise WireError(
+            f"frame length {length} does not match datagram ({len(data)} bytes)"
+        )
+    cur = _Cursor(data, _HEADER.size)
+    src = cur.str_()
+    kind = cur.str_()
+    dst = _dec(cur)
+    channel = _dec(cur)
+    ttl = cur.i64()
+    size = cur.i64()
+    port = _dec(cur)
+    payload = _dec(cur)
+    if cur.pos != len(data):
+        raise WireError(f"{len(data) - cur.pos} trailing bytes after payload")
+    if dst is not None and not isinstance(dst, str):
+        raise WireError("malformed dst")
+    if channel is not None and not isinstance(channel, str):
+        raise WireError("malformed channel")
+    if port is not None and not isinstance(port, str):
+        raise WireError("malformed port")
+    pkt = Packet(
+        src=src,
+        kind=kind,
+        payload=payload,
+        size=size,
+        dst=dst,
+        channel=channel,
+        ttl=ttl,
+    )
+    return pkt, port

@@ -122,9 +122,9 @@ class FakeRuntime(NodeRuntime):
 
     def publish(
         self, channel: str, ttl: int, kind: str, payload: object, size: int
-    ) -> int:
+    ) -> bool:
         self.published.append((channel, ttl, kind, payload, size))
-        return 0
+        return True
 
     # Unicast ----------------------------------------------------------
     def bind(self, port: str, handler: PacketHandler) -> None:

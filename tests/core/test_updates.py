@@ -33,7 +33,7 @@ class TestBuild:
         um = UpdateManager("me", piggyback_depth=3)
         msgs = [um.build(0, [add_op(f"n{i}")]) for i in range(5)]
         last = msgs[-1]
-        assert [seq for seq, _uid, _ops in last.piggyback] == [2, 3, 4]
+        assert [seq for seq, _uid, _origin, _ops in last.piggyback] == [2, 3, 4]
 
     def test_piggyback_per_level(self):
         um = UpdateManager("me")
@@ -66,7 +66,7 @@ class TestReceive:
         for i in range(3):
             msg = alice.build(0, [add_op(f"n{i}")])
             out = bob.receive(msg)
-            assert [ops[0].node_id for _uid, ops in out.apply] == [f"n{i}"]
+            assert [ops[0].node_id for _uid, _origin, ops in out.apply] == [f"n{i}"]
             assert not out.need_sync
 
     def test_duplicate_uid_not_reapplied(self):
@@ -89,7 +89,7 @@ class TestReceive:
         m3 = alice.build(0, [add_op("c")])
         bob.receive(m1)
         out = bob.receive(m3)
-        applied = [ops[0].node_id for _uid, ops in out.apply]
+        applied = [ops[0].node_id for _uid, _origin, ops in out.apply]
         assert applied == ["b", "c"]  # recovered op first, in seq order
         assert not out.need_sync
 
@@ -100,7 +100,7 @@ class TestReceive:
         out = bob.receive(msgs[5])  # lost seqs 2..5: piggyback has 3..5 only
         assert out.need_sync
         # Still recovers what the piggyback carried.
-        recovered = {ops[0].node_id for _uid, ops in out.apply}
+        recovered = {ops[0].node_id for _uid, _origin, ops in out.apply}
         assert recovered == {"n2", "n3", "n4", "n5"}
 
     def test_exactly_max_loss_recoverable(self):
@@ -188,7 +188,7 @@ class TestReorderingEdges:
         first = bob.receive(m2)  # m1 still in flight
         assert first.need_sync  # hole, nothing to recover from
         late = bob.receive(m1)  # duplicate-behind, uid unseen
-        assert [ops[0].node_id for _uid, ops in late.apply] == ["x"]
+        assert [ops[0].node_id for _uid, _origin, ops in late.apply] == ["x"]
         assert late.relay
         assert not late.need_sync
 
@@ -209,7 +209,7 @@ class TestReorderingEdges:
         bob.receive(m1)
         bob.note_synced("a", 0, 4)  # full sync jumped the stream forward
         out = bob.receive(m4)  # arrives late: seq 4 <= last 4
-        applied = [ops[0].node_id for _uid, ops in out.apply]
+        applied = [ops[0].node_id for _uid, _origin, ops in out.apply]
         assert applied == ["a2", "a3", "a4"]
         assert out.recovered == 2  # a2/a3 came from the piggyback
         assert out.relay  # m4's own uid was never seen either
@@ -241,7 +241,7 @@ class TestReorderingEdges:
         bob.receive(msgs[0])
         out = bob.receive(msgs[depth + 1])  # exactly `depth` seqs lost
         assert not out.need_sync
-        applied = [ops[0].node_id for _uid, ops in out.apply]
+        applied = [ops[0].node_id for _uid, _origin, ops in out.apply]
         assert applied == [f"n{i}" for i in range(1, depth + 2)]
 
     def test_gap_one_past_piggyback_depth_needs_sync(self):
@@ -253,7 +253,7 @@ class TestReorderingEdges:
         out = bob.receive(msgs[depth + 2])  # depth+1 seqs lost: one too many
         assert out.need_sync
         # The piggyback tail still recovers what it carried.
-        applied = {ops[0].node_id for _uid, ops in out.apply}
+        applied = {ops[0].node_id for _uid, _origin, ops in out.apply}
         assert applied == {f"n{i}" for i in range(2, depth + 3)}
 
 
@@ -271,15 +271,45 @@ class TestSeenUidWindow:
     def test_oldest_uids_evicted_first(self):
         um = UpdateManager("me", seen_uid_window=3)
         for uid in (1, 2, 3, 4, 5):
-            um.mark_seen(uid)
-        assert list(um._seen_uids) == [3, 4, 5]
+            um.mark_seen("o", uid)
+        assert list(um._seen_uids) == [("o", 3), ("o", 4), ("o", 5)]
 
     def test_mark_seen_idempotent_no_reorder(self):
         um = UpdateManager("me", seen_uid_window=3)
         for uid in (1, 2, 3):
-            um.mark_seen(uid)
-        um.mark_seen(1)  # already present: must not refresh or evict
-        assert list(um._seen_uids) == [1, 2, 3]
+            um.mark_seen("o", uid)
+        um.mark_seen("o", 1)  # already present: must not refresh or evict
+        assert list(um._seen_uids) == [("o", 1), ("o", 2), ("o", 3)]
+
+    def test_same_uid_different_origin_not_deduped(self):
+        # Real daemons allocate uids from their own process counter, so
+        # two nodes can both emit uid 1.  Dedup keys on (origin, uid)
+        # content: a colliding uid from a different originator is a
+        # different update and must still apply.
+        bob = UpdateManager("b")
+        one = UpdateManager("s1", uid_alloc=iter([1]).__next__)
+        two = UpdateManager("s2", uid_alloc=iter([1]).__next__)
+        assert len(bob.receive(one.build(0, [add_op("x")])).apply) == 1
+        out = bob.receive(two.build(0, [add_op("y")]))
+        assert [ops[0].node_id for _uid, _origin, ops in out.apply] == ["y"]
+        assert out.relay
+
+    def test_piggyback_preserves_each_entrys_origin(self):
+        # A piggybacked entry may be a relay of someone else's update; its
+        # recovery must re-advertise the *original* (origin, uid), not the
+        # primary message's origin.
+        alice, bob = UpdateManager("a"), UpdateManager("b")
+        relayed = alice.build(0, [add_op("x")], uid=7, origin="far")  # lost
+        assert relayed.origin == "far"
+        m2 = alice.build(0, [add_op("y")])
+        out = bob.receive(m2)  # gap of 1: piggyback recovers the relay
+        assert [(uid, origin) for uid, origin, _ops in out.apply] == [
+            (7, "far"),
+            (m2.uid, "a"),
+        ]
+        # The recovered group was marked seen under its true origin: the
+        # straggler itself is now a duplicate.
+        assert bob.receive(relayed).apply == []
 
     def test_evicted_uid_straggler_reapplies_harmlessly(self):
         # An evicted uid that straggles back is re-applied; the update ops
@@ -290,5 +320,5 @@ class TestSeenUidWindow:
         for i in range(4):  # push m1's uid out of the window
             bob.receive(alice.build(0, [add_op(f"f{i}")]))
         out = bob.receive(m1)  # behind the stream AND evicted from dedup
-        assert [ops[0].node_id for _uid, ops in out.apply] == ["x"]
+        assert [ops[0].node_id for _uid, _origin, ops in out.apply] == ["x"]
         assert out.relay

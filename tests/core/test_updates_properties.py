@@ -38,7 +38,7 @@ class TestStreamProperties:
             if i in lost:
                 continue
             out = receiver.receive(msg)
-            for _uid, ops in out.apply:
+            for _uid, _origin, ops in out.apply:
                 applied.append(ops[0].node_id)
         # No duplicates.
         assert len(applied) == len(set(applied))
@@ -75,7 +75,7 @@ class TestStreamProperties:
                 continue
             out = receiver.receive(msg)
             needed_sync |= out.need_sync
-            for _uid, ops in out.apply:
+            for _uid, _origin, ops in out.apply:
                 applied.add(ops[0].node_id)
         assert applied == {f"n{i}" for i in range(n)}
         assert not needed_sync
@@ -119,7 +119,7 @@ class TestStreamProperties:
         receiver = UpdateManager("r", piggyback_depth=depth)
         applied = []
         for msg in deliveries:
-            for _uid, ops in receiver.receive(msg).apply:
+            for _uid, _origin, ops in receiver.receive(msg).apply:
                 applied.append(ops[0].node_id)
         assert sorted(applied) == sorted({f"n{i}" for i in range(n)} & set(applied))
         assert len(applied) == len(set(applied))

@@ -1,0 +1,87 @@
+"""Real-network smoke test: 20 daemons over UDP on localhost.
+
+Boots the channel relay plus 20 ``repro.cli daemon`` OS processes (two
+LAN segments of 10), waits for every daemon's HTTP ``/view`` to report
+the full membership, SIGKILLs one node, and verifies the survivors
+detect and purge it within the protocol's failure bound.
+
+Marked ``network``: excluded from the default (tier-1) run — it binds
+dozens of UDP/TCP ports and takes tens of wall-clock seconds.  CI runs
+it in a dedicated job with a hard timeout::
+
+    python -m pytest -m network -q tests/network/
+"""
+
+import pathlib
+import sys
+import time
+
+import pytest
+
+pytestmark = pytest.mark.network
+
+# The launcher doubles as the test harness (examples/ is not a package).
+_EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+if str(_EXAMPLES) not in sys.path:
+    sys.path.insert(0, str(_EXAMPLES))
+
+from launch_cluster import LocalCluster, build_spec  # noqa: E402
+
+NUM_NODES = 20
+SEGMENTS = 2
+HEARTBEAT_PERIOD = 0.5
+MAX_LOSS = 5  # protocol default: declared dead after 5 missed heartbeats
+
+
+def test_twenty_daemon_cluster_converges_and_detects_failure():
+    spec = build_spec(
+        NUM_NODES, SEGMENTS, config={"heartbeat_period": HEARTBEAT_PERIOD}
+    )
+    with LocalCluster(spec) as cluster:
+        # Full convergence: every daemon sees all 20 members.
+        took = cluster.wait_for_views(NUM_NODES, deadline=60.0)
+        assert took <= 60.0
+
+        # Every daemon serves real observability endpoints.
+        some_node = sorted(cluster.daemons)[0]
+        metrics = cluster.metrics(some_node)
+        assert metrics is not None
+        assert "repro_heartbeats_tx_total" in metrics
+        view = cluster.view(some_node)
+        assert view is not None and view["count"] == NUM_NODES
+        # Every daemon resolved a level-0 leader, and the hierarchy
+        # forms: at least one daemon joins (and wins) a cross-segment
+        # level.  Only level-0 leaders join levels >= 1 and that
+        # election has its own (longer) timeout, so poll with a deadline
+        # instead of asserting the instant the views converge.
+        assert view["levels"]["0"]["leader"] is not None
+
+        def hierarchy_formed():
+            return any(
+                info["i_am_leader"] and int(level) >= 1
+                for node_id in sorted(cluster.daemons)
+                for level, info in (cluster.view(node_id) or {"levels": {}})[
+                    "levels"
+                ].items()
+            )
+
+        deadline = time.monotonic() + 30.0
+        while not hierarchy_formed():
+            assert time.monotonic() < deadline, "no cross-segment leader elected"
+            time.sleep(0.5)
+
+        # Kill one daemon (unannounced).  Survivors must detect the
+        # silence and purge the record: the protocol bound is max_loss
+        # missed heartbeats plus relay/purge slack.
+        victim = sorted(cluster.daemons)[-1]
+        cluster.kill(victim)
+        survivors = sorted(cluster.daemons)
+        assert len(survivors) == NUM_NODES - 1
+        detect_deadline = MAX_LOSS * HEARTBEAT_PERIOD * 4 + 10.0
+        cluster.wait_for_views(
+            NUM_NODES - 1, deadline=detect_deadline, node_ids=survivors
+        )
+        for node_id in (survivors[0], survivors[-1]):
+            view = cluster.view(node_id)
+            assert view is not None
+            assert victim not in view["members"]

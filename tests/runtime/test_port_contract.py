@@ -1,0 +1,225 @@
+"""Shared conformance suite for the :class:`NodeRuntime` timer contract.
+
+Satellite of the real-network PR: the same behavioural suite runs
+against **both** adapters — :class:`~repro.runtime.sim.SimRuntime` over
+the discrete-event kernel and :class:`~repro.runtime.anet.AsyncRuntime`
+over a live asyncio loop — so the contract pinned in
+``repro/runtime/ports.py`` is enforced by tests, not prose:
+
+* one-shots are epoch-guarded (dropped after ``bump_epoch`` or
+  ``deactivate``), recurring timers are not (they die only with the
+  life);
+* ``call_every(first_delay=0)`` fires promptly, then keeps the period;
+* non-positive periods and negative first delays are rejected;
+* a callback cancelling its own recurring timer stops it cleanly;
+* ``deactivate()`` called *inside* a timer callback cancels everything,
+  including the currently-firing timer, and leaves no live timers.
+
+The sim harness asserts exact virtual-time cadence; the asyncio harness
+runs in real time with coarse tolerances (counts and invariants, not
+exact instants).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.net.builders import build_switched_cluster
+from repro.net.network import Network
+from repro.runtime.anet import AsyncRuntime, ClusterSpec, NodeSpec, RelaySpec
+from repro.runtime.sim import SimRuntime
+
+
+class SimHarness:
+    """SimRuntime over a tiny simulated network; virtual time."""
+
+    name = "sim"
+    #: One cadence unit.  Virtual seconds: exact and free.
+    tick = 1.0
+    exact = True
+
+    def __init__(self):
+        topo, hosts = build_switched_cluster(1, 2)
+        self.net = Network(topo, seed=3)
+        self.runtime = SimRuntime(self.net, hosts[0])
+        self.runtime.activate()
+
+    def run(self, duration):
+        self.net.run(until=self.runtime.now + duration)
+
+    def close(self):
+        self.runtime.deactivate()
+
+
+class AsyncHarness:
+    """AsyncRuntime on a private event loop; real time, coarse asserts."""
+
+    name = "anet"
+    #: One cadence unit.  Real seconds: keep small but flake-resistant.
+    tick = 0.1
+    exact = False
+
+    def __init__(self):
+        self.loop = asyncio.new_event_loop()
+        spec = ClusterSpec(
+            relay=RelaySpec(host="127.0.0.1", port=1),  # never contacted here
+            nodes={"n0": NodeSpec(host="127.0.0.1", port=0)},
+        )
+        self.runtime = AsyncRuntime(spec, "n0")
+        self.loop.run_until_complete(self.runtime.start())
+        self.runtime.activate()
+
+    def run(self, duration):
+        self.loop.run_until_complete(asyncio.sleep(duration))
+
+    def close(self):
+        self.runtime.close()
+        self.loop.run_until_complete(asyncio.sleep(0))
+        self.loop.close()
+
+
+@pytest.fixture(params=[SimHarness, AsyncHarness], ids=["sim", "anet"])
+def harness(request):
+    h = request.param()
+    yield h
+    h.close()
+
+
+class TestOneShots:
+    def test_fires_once_with_args(self, harness):
+        fired = []
+        harness.runtime.call_once(1 * harness.tick, fired.append, "x")
+        harness.run(1.5 * harness.tick)
+        assert fired == ["x"]
+        harness.run(1.5 * harness.tick)
+        assert fired == ["x"]
+
+    def test_cancel_prevents_fire(self, harness):
+        fired = []
+        handle = harness.runtime.call_once(1 * harness.tick, fired.append, 1)
+        handle.cancel()
+        assert handle.cancelled
+        harness.run(2 * harness.tick)
+        assert fired == []
+
+    def test_dropped_after_bump_epoch(self, harness):
+        # The epoch guard proper: the timer stays scheduled but its
+        # callback must not run into the new incarnation.
+        fired = []
+        harness.runtime.call_once(1 * harness.tick, fired.append, 1)
+        harness.runtime.bump_epoch()
+        harness.run(2 * harness.tick)
+        assert fired == []
+
+    def test_dropped_after_deactivate_reactivate(self, harness):
+        # A restart (deactivate + activate) must not leak a one-shot from
+        # the previous life even though the runtime is active again.
+        fired = []
+        harness.runtime.call_once(1 * harness.tick, fired.append, 1)
+        harness.runtime.deactivate()
+        harness.runtime.activate()
+        harness.run(2 * harness.tick)
+        assert fired == []
+
+    def test_negative_delay_rejected(self, harness):
+        with pytest.raises((ValueError, RuntimeError)):
+            harness.runtime.call_once(-0.1, lambda: None)
+
+
+class TestRecurring:
+    def test_default_first_fire_after_one_period(self, harness):
+        fired = []
+        harness.runtime.call_every(1 * harness.tick, lambda: fired.append(1))
+        harness.run(0.5 * harness.tick)
+        assert fired == []  # not before the first period elapses
+        harness.run(3 * harness.tick)
+        if harness.exact:
+            assert len(fired) == 3  # at 1, 2, 3 ticks
+        else:
+            assert len(fired) >= 2
+
+    def test_first_delay_zero_fires_promptly_then_keeps_period(self, harness):
+        # Pinned semantics: first_delay=0 is legal and means "fire as
+        # soon as the loop turns", then every period after that.
+        fired = []
+        harness.runtime.call_every(
+            2 * harness.tick, lambda: fired.append(1), first_delay=0
+        )
+        harness.run(0.5 * harness.tick)
+        assert len(fired) == 1
+        harness.run(2 * harness.tick)  # now at 2.5 ticks: fired at 0 and 2
+        assert len(fired) == 2 if harness.exact else len(fired) >= 2
+
+    def test_explicit_first_delay_phase(self, harness):
+        fired = []
+        harness.runtime.call_every(
+            2 * harness.tick, lambda: fired.append(1), first_delay=0.5 * harness.tick
+        )
+        harness.run(1 * harness.tick)
+        assert len(fired) == 1  # at 0.5 ticks
+        harness.run(2 * harness.tick)  # now at 3 ticks: also fired at 2.5
+        assert len(fired) == 2
+
+    def test_negative_first_delay_rejected(self, harness):
+        with pytest.raises((ValueError, RuntimeError)):
+            harness.runtime.call_every(1.0, lambda: None, first_delay=-0.1)
+
+    def test_nonpositive_period_rejected(self, harness):
+        with pytest.raises((ValueError, RuntimeError)):
+            harness.runtime.call_every(0.0, lambda: None)
+        with pytest.raises((ValueError, RuntimeError)):
+            harness.runtime.call_every(-1.0, lambda: None)
+
+    def test_self_cancel_inside_callback_stops_rearming(self, harness):
+        fired = []
+        box = {}
+
+        def tick():
+            fired.append(1)
+            box["handle"].cancel()
+
+        box["handle"] = harness.runtime.call_every(1 * harness.tick, tick)
+        harness.run(3.5 * harness.tick)
+        assert len(fired) == 1
+
+    def test_survives_bump_epoch(self, harness):
+        # Recurring timers belong to the life, not the incarnation.
+        fired = []
+        harness.runtime.call_every(1 * harness.tick, lambda: fired.append(1))
+        harness.runtime.bump_epoch()
+        harness.run(1.5 * harness.tick)
+        assert len(fired) >= 1
+
+
+class TestDeactivateSemantics:
+    def test_deactivate_inside_timer_callback(self, harness):
+        # A protocol stopping itself from within its own tick (e.g. a
+        # graceful leave on a heartbeat timer) must cancel everything:
+        # the firing timer, its sibling recurrings, and pending one-shots.
+        fired = {"self": 0, "other": 0, "oneshot": 0}
+        runtime = harness.runtime
+
+        def tick():
+            fired["self"] += 1
+            runtime.deactivate()
+
+        runtime.call_every(1 * harness.tick, tick)
+        runtime.call_every(1.25 * harness.tick, lambda: fired.__setitem__(
+            "other", fired["other"] + 1))
+        runtime.call_once(1.5 * harness.tick, lambda: fired.__setitem__(
+            "oneshot", fired["oneshot"] + 1))
+        harness.run(4 * harness.tick)
+        assert fired == {"self": 1, "other": 0, "oneshot": 0}
+        assert runtime.live_timers == 0
+        assert not runtime.active
+
+    def test_live_timers_accounting(self, harness):
+        runtime = harness.runtime
+        assert runtime.live_timers == 0
+        h1 = runtime.call_once(10 * harness.tick, lambda: None)
+        runtime.call_every(10 * harness.tick, lambda: None)
+        assert runtime.live_timers == 2
+        h1.cancel()
+        assert runtime.live_timers == 1
+        runtime.deactivate()
+        assert runtime.live_timers == 0
