@@ -50,19 +50,28 @@ def build_spec(
     num_nodes: int,
     segments: int,
     config: Optional[Dict[str, object]] = None,
+    relay_replicas: int = 0,
 ) -> Dict[str, object]:
-    """A localhost ClusterSpec dict: nodes round-robined over segments."""
-    ports = free_ports(1 + 2 * num_nodes)
+    """A localhost ClusterSpec dict: nodes round-robined over segments.
+
+    ``relay_replicas`` standby relay endpoints are listed after the
+    primary; daemons fail over to them when the active relay dies.
+    """
+    relay_count = 1 + relay_replicas
+    ports = free_ports(relay_count + 2 * num_nodes)
     nodes: Dict[str, object] = {}
     for i in range(num_nodes):
         nodes[f"n{i}"] = {
             "host": "127.0.0.1",
-            "port": ports[1 + i],
-            "http_port": ports[1 + num_nodes + i],
+            "port": ports[relay_count + i],
+            "http_port": ports[relay_count + num_nodes + i],
             "segment": f"s{i % segments}",
         }
     return {
         "relay": {"host": "127.0.0.1", "port": ports[0]},
+        "relay_replicas": [
+            {"host": "127.0.0.1", "port": ports[1 + i]} for i in range(relay_replicas)
+        ],
         "routers_between_segments": 1,
         "config": dict(config or {}),
         "nodes": nodes,
@@ -79,7 +88,9 @@ class LocalCluster:
         self.spec = spec
         self.python = python
         self.spec_path = ""
-        self.relay_proc: Optional[subprocess.Popen] = None
+        #: Relay processes by replica index (0 = primary); dead ones are
+        #: removed by kill_relay.
+        self.relay_procs: Dict[int, subprocess.Popen] = {}
         self.daemons: Dict[str, subprocess.Popen] = {}
         self._env = {**os.environ}
         src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
@@ -90,10 +101,14 @@ class LocalCluster:
         fd, self.spec_path = tempfile.mkstemp(suffix=".json", prefix="cluster-")
         with os.fdopen(fd, "w") as fh:
             json.dump(self.spec, fh)
-        self.relay_proc = self._spawn(
-            [self.python, "-m", "repro.runtime.relay", "--spec", self.spec_path]
-        )
-        self._wait_line(self.relay_proc, "relay ready")
+        relay_count = 1 + len(self.spec.get("relay_replicas", []))  # type: ignore[union-attr]
+        for replica in range(relay_count):
+            self.relay_procs[replica] = self._spawn(
+                [self.python, "-m", "repro.runtime.relay",
+                 "--spec", self.spec_path, "--replica", str(replica)]
+            )
+        for proc in self.relay_procs.values():
+            self._wait_line(proc, "relay ready")
         for node_id in self.spec["nodes"]:  # type: ignore[attr-defined]
             self.daemons[node_id] = self._spawn(
                 [self.python, "-m", "repro.cli", "daemon",
@@ -107,9 +122,7 @@ class LocalCluster:
         self.shutdown()
 
     def shutdown(self) -> None:
-        procs = list(self.daemons.values())
-        if self.relay_proc is not None:
-            procs.append(self.relay_proc)
+        procs = list(self.daemons.values()) + list(self.relay_procs.values())
         for proc in procs:
             if proc.poll() is None:
                 proc.terminate()
@@ -191,11 +204,19 @@ class LocalCluster:
         proc.send_signal(signal.SIGKILL)
         proc.wait(timeout=5)
 
+    def kill_relay(self, replica: int = 0) -> None:
+        """SIGKILL one relay process (primary by default)."""
+        proc = self.relay_procs.pop(replica)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=5)
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--nodes", type=int, default=8)
     parser.add_argument("--segments", type=int, default=2)
+    parser.add_argument("--relay-replicas", type=int, default=0,
+                        help="standby relay processes (daemons fail over to them)")
     parser.add_argument("--heartbeat-period", type=float, default=0.5)
     parser.add_argument("--deadline", type=float, default=60.0,
                         help="max seconds to wait for full convergence")
@@ -204,7 +225,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     spec = build_spec(
-        args.nodes, args.segments, config={"heartbeat_period": args.heartbeat_period}
+        args.nodes,
+        args.segments,
+        config={"heartbeat_period": args.heartbeat_period},
+        relay_replicas=args.relay_replicas,
     )
     with LocalCluster(spec) as cluster:
         print(f"booted relay + {args.nodes} daemons "

@@ -170,7 +170,9 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
     if spec.config:
         config = dataclasses.replace(config, **spec.config)
 
-    async def _serve_http(node: HierarchicalNode, handle_registry) -> asyncio.AbstractServer:
+    async def _serve_http(
+        node: HierarchicalNode, handle_registry, runtime: "AsyncRuntime"
+    ) -> asyncio.AbstractServer:
         from repro.obs import to_prometheus
 
         def view_body() -> str:
@@ -186,6 +188,14 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
                             "i_am_leader": node.is_leader(level),
                         }
                         for level in node.levels()
+                    },
+                    "relay": {
+                        "active_index": runtime.relay_index,
+                        "fallback": runtime.relay_fallback,
+                        "failovers": runtime.relay_failovers,
+                        "send_errors": runtime.send_errors,
+                        "wire_errors": runtime.wire_errors,
+                        "frag_drops": runtime.frag_drops,
                     },
                 }
             )
@@ -233,7 +243,7 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
         await runtime.start()
         node = HierarchicalNode(None, args.node, config=config, runtime=runtime)
         node.start()
-        server = await _serve_http(node, registry)
+        server = await _serve_http(node, registry, runtime)
         print(f"daemon {args.node} ready", flush=True)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()

@@ -36,6 +36,10 @@ instrument              owning module (single increment site)
 ``member_up``           ``protocols.base`` — shared emit helper
 ``member_down``         ``protocols.base`` — shared emit helper
 ``view_resets``         ``protocols.base`` — daemon (re)start
+``wire_errors``         ``runtime.anet`` — undecodable datagram dropped
+``send_errors``         ``runtime.anet`` — send refused/errored
+``relay_failovers``     ``runtime.anet`` — relay candidate switch
+``frag_drops``          ``runtime.anet`` — reassembly buffer dropped
 ======================  ===============================================
 
 The baselines (all-to-all, gossip) go through the shared
@@ -116,6 +120,15 @@ _SPEC = [
      "leaders stepping down (two-leaders rule)"),
     ("view_resets", "repro_view_resets_total", "counter",
      "directory wipes on daemon (re)start"),
+    # real-network runtime (repro.runtime.anet)
+    ("wire_errors", "repro_wire_errors_total", "counter",
+     "datagrams dropped because they failed to decode"),
+    ("send_errors", "repro_send_errors_total", "counter",
+     "datagram sends refused or errored (oversize, OS error, ICMP report)"),
+    ("relay_failovers", "repro_relay_failovers_total", "counter",
+     "relay candidate switches after a health-check timeout"),
+    ("frag_drops", "repro_fragment_drops_total", "counter",
+     "fragment reassembly buffers dropped (missing-fragment timeout or budget eviction)"),
 ]
 
 _HISTOGRAMS = [

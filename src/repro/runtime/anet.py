@@ -24,6 +24,23 @@ an asyncio event loop and one UDP socket per daemon:
   the relay, which fans out to every subscriber within TTL distance and
   never back to the sender (matching the simulated fabric).
 
+Hardening (the two real-network cliffs):
+
+* **Fragmentation** — frames larger than the spec's ``max_datagram``
+  are split by :func:`repro.runtime.wire.fragment_frame` and
+  reassembled transparently on receive; oversized raw datagrams (and
+  OS-level send errors, including ICMP errors surfaced through
+  ``error_received``) are counted as send failures and refused, so
+  ``publish``/``send`` keep their *accepted for send* contract honest.
+* **Relay failover** — the spec may list relay replicas.  Each
+  ``relay_sub`` announce is acked by the relay; when the active relay
+  stops acking for :data:`RELAY_TIMEOUT`, the runtime fails over to the
+  next candidate (capped exponential backoff between full cycles), and
+  once every candidate has failed it degrades to **direct unicast
+  fan-out**: ``publish`` sends the framed channel datagram straight to
+  every spec node within TTL distance (computed locally from segments).
+  The first ack from any probed relay restores relay mode.
+
 The runtime must be started inside a running event loop
 (``await runtime.start()``) before any protocol ``start()`` schedules
 timers or sends datagrams.
@@ -41,7 +58,16 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 from repro.net.packet import Packet
 from repro.obs.wiring import NOOP, Instruments
 from repro.runtime.ports import NodeRuntime, PacketHandler, TimerHandle
-from repro.runtime.wire import WireError, decode_packet, encode_packet
+from repro.runtime.wire import (
+    DEFAULT_MAX_DATAGRAM,
+    MAX_UDP_PAYLOAD,
+    Reassembler,
+    WireError,
+    decode_packet,
+    encode_packet,
+    fragment_frame,
+    is_fragment,
+)
 from repro.sim.trace import Trace
 
 __all__ = [
@@ -52,6 +78,11 @@ __all__ = [
     "RELAY_DST",
     "RELAY_SUB",
     "RELAY_UNSUB",
+    "RELAY_ACK",
+    "REANNOUNCE_PERIOD",
+    "RELAY_TIMEOUT",
+    "RELAY_BACKOFF_CAP",
+    "FRAGMENT_TIMEOUT",
 ]
 
 #: Pseudo-destination for relay control datagrams (a Packet must carry
@@ -61,11 +92,24 @@ RELAY_DST = "__relay__"
 #: Relay control packet kinds.
 RELAY_SUB = "relay_sub"
 RELAY_UNSUB = "relay_unsub"
+#: Relay -> daemon: acknowledges a ``relay_sub`` (the health signal the
+#: failover logic watches).
+RELAY_ACK = "relay_ack"
 
 #: How often a daemon re-announces its subscriptions to the relay.  UDP
 #: control datagrams can be lost; periodic re-announce makes membership
 #: in the fan-out tables soft state, healed within one period.
 REANNOUNCE_PERIOD = 2.0
+
+#: No ack from the active relay for this long -> try the next candidate.
+RELAY_TIMEOUT = 3 * REANNOUNCE_PERIOD
+
+#: Cap on the exponential backoff between relay probe cycles once every
+#: candidate has failed (the runtime is in unicast fallback meanwhile).
+RELAY_BACKOFF_CAP = 30.0
+
+#: A reassembly buffer missing fragments for this long is dropped.
+FRAGMENT_TIMEOUT = 5.0
 
 
 # ----------------------------------------------------------------------
@@ -107,6 +151,16 @@ class ClusterSpec:
     routers_between_segments: int = 1
     #: ``HierarchicalConfig`` field overrides (e.g. ``heartbeat_period``).
     config: Dict[str, Any] = field(default_factory=dict)
+    #: Standby relay endpoints, tried in order after the primary when the
+    #: active relay stops acking announces.
+    relay_replicas: List[RelaySpec] = field(default_factory=list)
+    #: Safe per-datagram byte budget; frames above it are fragmented.
+    max_datagram: int = DEFAULT_MAX_DATAGRAM
+
+    @property
+    def relay_list(self) -> List[RelaySpec]:
+        """Failover order: the primary relay, then every replica."""
+        return [self.relay, *self.relay_replicas]
 
     def ttl_distance(self, seg_a: str, seg_b: str) -> int:
         """TTL distance between two segments: ``1 + routers on path``."""
@@ -131,11 +185,17 @@ class ClusterSpec:
                 http_port=int(ns.get("http_port", 0)),
                 segment=str(ns.get("segment", "s0")),
             )
+        replicas = [
+            RelaySpec(host=rs["host"], port=int(rs["port"]))
+            for rs in raw.get("relay_replicas", [])
+        ]
         return cls(
             relay=RelaySpec(host=relay_raw["host"], port=int(relay_raw["port"])),
             nodes=nodes,
             routers_between_segments=int(raw.get("routers_between_segments", 1)),
             config=dict(raw.get("config", {})),
+            relay_replicas=replicas,
+            max_datagram=int(raw.get("max_datagram", DEFAULT_MAX_DATAGRAM)),
         )
 
     @classmethod
@@ -150,6 +210,10 @@ class ClusterSpec:
     def to_dict(self) -> Dict[str, Any]:
         return {
             "relay": {"host": self.relay.host, "port": self.relay.port},
+            "relay_replicas": [
+                {"host": rs.host, "port": rs.port} for rs in self.relay_replicas
+            ],
+            "max_datagram": self.max_datagram,
             "routers_between_segments": self.routers_between_segments,
             "config": dict(self.config),
             "nodes": {
@@ -238,6 +302,12 @@ class _NodeProtocol(asyncio.DatagramProtocol):
     def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
         self._runtime._on_datagram(data)
 
+    def error_received(self, exc: Exception) -> None:
+        # The OS surfacing an async send failure (ICMP port/host
+        # unreachable, EMSGSIZE on some stacks).  The datagram is gone;
+        # count it so "accepted for send" stays an honest contract.
+        self._runtime._on_send_error(type(exc).__name__)
+
 
 # ----------------------------------------------------------------------
 # The adapter
@@ -274,6 +344,32 @@ class AsyncRuntime(NodeRuntime):
         self._reannounce: Optional[asyncio.TimerHandle] = None
         #: Datagrams dropped because they failed to decode.
         self.wire_errors = 0
+        #: Sends refused or errored (oversize, OS error, ICMP report).
+        self.send_errors = 0
+        #: Reassembly buffers dropped (missing-fragment timeout/budget).
+        self.frag_drops = 0
+        #: Relay candidate switches after a health-check timeout.
+        self.relay_failovers = 0
+        # -- fragmentation --------------------------------------------
+        #: Per-datagram byte budget; frames above it are fragmented.
+        #: Instance attribute (seeded from the spec) so tests can tune.
+        self.max_datagram = spec.max_datagram
+        self._frame_seq = 0
+        self._reasm = Reassembler(
+            timeout=FRAGMENT_TIMEOUT, on_drop=self._on_frag_drop
+        )
+        # -- relay failover -------------------------------------------
+        #: Health/backoff knobs; instance attributes so tests can tune
+        #: them (before start()) without monkeypatching the module.
+        self.reannounce_period = REANNOUNCE_PERIOD
+        self.relay_timeout = RELAY_TIMEOUT
+        self.relay_backoff_cap = RELAY_BACKOFF_CAP
+        self._relay_idx = 0
+        self._relay_fallback = False
+        self._relay_dead = 0  # candidates failed since the last ack
+        self._relay_probe_timeout = self.relay_timeout
+        self._last_relay_ack = 0.0  # raw loop time
+        self._candidate_since = 0.0  # raw loop time
 
     # ------------------------------------------------------------------
     # Transport lifecycle
@@ -288,6 +384,9 @@ class AsyncRuntime(NodeRuntime):
             lambda: _NodeProtocol(self), local_addr=(node.host, node.port)
         )
         self._transport = transport
+        self._relay_probe_timeout = self.relay_timeout
+        self._last_relay_ack = loop.time()
+        self._candidate_since = loop.time()
         self._schedule_reannounce()
 
     def close(self) -> None:
@@ -383,39 +482,112 @@ class AsyncRuntime(NodeRuntime):
     # Datagram dispatch
     # ------------------------------------------------------------------
     def _on_datagram(self, data: bytes) -> None:
+        if is_fragment(data):
+            try:
+                frame = self._reasm.add(data)
+            except WireError:
+                self._count_wire_error(len(data))
+                return
+            if frame is None:
+                return  # frame still incomplete (or a duplicate slice)
+            data = frame.payload
         try:
             pkt, port = decode_packet(data)
         except WireError:
-            self.wire_errors += 1
-            self.emit("wire_error", bytes_len=len(data))
+            self._count_wire_error(len(data))
             return
-        if port is not None:
+        if pkt.kind == RELAY_ACK:
+            self._on_relay_ack()
+        elif port is not None:
             handler = self._bound.get(port)
             if handler is not None and pkt.dst == self.node_id:
                 handler(pkt)
         elif pkt.channel is not None:
             # The relay never echoes to the sender, but a misbehaving
-            # relay must not let a node hear itself.
+            # relay must not let a node hear itself (and in unicast
+            # fallback the fan-out is sender-side, so the filter is
+            # load-bearing for loop-shaped specs).
             handler = self._subs.get(pkt.channel)
             if handler is not None and pkt.src != self.node_id:
                 handler(pkt)
+
+    def _count_wire_error(self, bytes_len: int) -> None:
+        self.wire_errors += 1
+        self._obs.wire_errors.inc()
+        self.emit("wire_error", bytes_len=bytes_len)
+
+    def _on_frag_drop(self, reason: str) -> None:
+        self.frag_drops += 1
+        self._obs.frag_drops.inc()
+        self.emit("frag_drop", reason=reason)
+
+    def _on_send_error(self, reason: str) -> None:
+        self.send_errors += 1
+        self._obs.send_errors.inc()
+        self.emit("send_error", reason=reason)
+
+    def _next_frame_id(self) -> int:
+        self._frame_seq = (self._frame_seq + 1) & 0xFFFFFFFF
+        return self._frame_seq
 
     def _sendto(self, data: bytes, addr: Tuple[str, int]) -> bool:
         transport = self._transport
         if transport is None or transport.is_closing():
             return False
-        transport.sendto(data, addr)
+        if len(data) > self.max_datagram:
+            try:
+                frags = fragment_frame(
+                    data, self.node_id, self._next_frame_id(), self.max_datagram
+                )
+            except WireError:
+                self._on_send_error("unfragmentable")
+                return False
+            ok = True
+            for frag in frags:
+                ok = self._raw_send(transport, frag, addr) and ok
+            return ok
+        return self._raw_send(transport, data, addr)
+
+    def _raw_send(
+        self, transport: asyncio.DatagramTransport, data: bytes, addr: Tuple[str, int]
+    ) -> bool:
+        if len(data) > MAX_UDP_PAYLOAD:
+            # The OS would reject this with EMSGSIZE; refuse it locally
+            # so the "accepted for send" return value stays truthful.
+            self._on_send_error("oversize")
+            return False
+        try:
+            transport.sendto(data, addr)
+        except OSError as exc:
+            self._on_send_error(type(exc).__name__)
+            return False
         return True
 
     # ------------------------------------------------------------------
-    # Multicast channels (via the relay)
+    # Multicast channels (via the relay, with failover)
     # ------------------------------------------------------------------
+    @property
+    def relay_index(self) -> int:
+        """Index of the active relay candidate in ``spec.relay_list``."""
+        return self._relay_idx
+
+    @property
+    def relay_fallback(self) -> bool:
+        """True while no relay acks and publish degrades to unicast."""
+        return self._relay_fallback
+
     def _relay_addr(self) -> Tuple[str, int]:
-        return (self.spec.relay.host, self.spec.relay.port)
+        relay = self.spec.relay_list[self._relay_idx]
+        return (relay.host, relay.port)
 
     def _announce(self) -> None:
-        """(Re-)send the full subscription set to the relay."""
-        if not self._subs or self._transport is None:
+        """(Re-)send the full subscription set to the active relay.
+
+        Sent even with zero subscriptions: the announce doubles as the
+        relay health probe (the relay acks it), and it keeps this node's
+        address registered for fan-out scoping.
+        """
+        if self._transport is None:
             return
         pkt = Packet(
             src=self.node_id,
@@ -434,10 +606,70 @@ class AsyncRuntime(NodeRuntime):
         loop = self._lp()
 
         def tick() -> None:
+            self._reasm.expire()
+            self._relay_health_check()
             self._announce()
-            self._reannounce = loop.call_later(REANNOUNCE_PERIOD, tick)
+            self._reannounce = loop.call_later(self.reannounce_period, tick)
 
-        self._reannounce = loop.call_later(REANNOUNCE_PERIOD, tick)
+        self._reannounce = loop.call_later(self.reannounce_period, tick)
+
+    def _relay_health_check(self) -> None:
+        """Fail over when the active relay has not acked in time.
+
+        Candidates are tried round-robin; once a whole cycle fails the
+        runtime enters unicast fallback and keeps probing the ring with
+        a capped exponential backoff.  Any ack resets everything.
+        """
+        loop = self._loop
+        if loop is None:
+            return
+        now = loop.time()
+        heard = max(self._last_relay_ack, self._candidate_since)
+        if now - heard <= self._relay_probe_timeout:
+            return
+        candidates = self.spec.relay_list
+        self._relay_idx = (self._relay_idx + 1) % len(candidates)
+        self._candidate_since = now
+        self._relay_dead += 1
+        self.relay_failovers += 1
+        self._obs.relay_failovers.inc()
+        self.emit("relay_failover", index=self._relay_idx)
+        if self._relay_dead >= len(candidates):
+            if not self._relay_fallback:
+                self._relay_fallback = True
+                self.emit("relay_fallback")
+            self._relay_probe_timeout = min(
+                self._relay_probe_timeout * 2, self.relay_backoff_cap
+            )
+
+    def _on_relay_ack(self) -> None:
+        loop = self._loop
+        if loop is None:
+            return
+        self._last_relay_ack = loop.time()
+        self._relay_dead = 0
+        self._relay_probe_timeout = self.relay_timeout
+        if self._relay_fallback:
+            self._relay_fallback = False
+            self.emit("relay_restored", index=self._relay_idx)
+
+    def _fanout_unicast(self, data: bytes, ttl: int) -> bool:
+        """Degraded multicast: direct fan-out over the spec's addresses.
+
+        TTL scoping is computed locally from the segment layout, exactly
+        as the relay would.  Receivers filter on their own subscription
+        table, so over-delivery to non-subscribers is harmless.
+        """
+        ok = True
+        sent = False
+        for node_id, ns in self.spec.nodes.items():
+            if node_id == self.node_id:
+                continue
+            if self.spec.ttl_distance(self.segment, ns.segment) > ttl:
+                continue
+            sent = True
+            ok = self._sendto(data, (ns.host, ns.port)) and ok
+        return ok if sent else True
 
     def subscribe(self, channel: str, handler: PacketHandler) -> None:
         self._subs[channel] = handler
@@ -465,7 +697,10 @@ class AsyncRuntime(NodeRuntime):
             channel=channel,
             ttl=ttl,
         )
-        return self._sendto(encode_packet(pkt), self._relay_addr())
+        data = encode_packet(pkt)
+        if self._relay_fallback:
+            return self._fanout_unicast(data, ttl)
+        return self._sendto(data, self._relay_addr())
 
     # ------------------------------------------------------------------
     # Unicast datagrams

@@ -35,12 +35,35 @@ Design constraints:
 
 No dependency on asyncio or sockets: the codec is pure functions over
 ``bytes`` and is exercised directly by ``tests/runtime/test_wire.py``.
+
+Fragmentation
+-------------
+
+A UDP datagram tops out at 65,507 payload bytes, and a full membership
+view crosses that well below the 10k-node scale the simulator reaches.
+Frames larger than a configurable safe payload are split into sequenced
+*fragment datagrams* (their own magic, so they are distinguishable from
+whole frames at the first two bytes) and reassembled on receive:
+
+* :func:`fragment_frame` splits one encoded frame into ``count``
+  fragments, each carrying ``(origin, frame_id, index, count)`` so the
+  receiver can reassemble frames from many interleaved senders — the
+  origin string travels in the fragment header because relayed traffic
+  all arrives from the relay's socket address;
+* :class:`Reassembler` holds per-``(origin, frame_id)`` buffers with a
+  missing-fragment timeout and a bounded budget (buffer count and total
+  bytes); stale or over-budget buffers are dropped whole, never
+  half-applied, and the completed frame hands back both the reassembled
+  payload and the original fragment datagrams so a relay can forward
+  the exact bytes it received.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any, Dict, List, Optional, Tuple
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.directory import NodeRecord
 from repro.core.heartbeat import Heartbeat
@@ -49,18 +72,37 @@ from repro.net.packet import Packet
 
 __all__ = [
     "WIRE_VERSION",
+    "MAX_UDP_PAYLOAD",
+    "DEFAULT_MAX_DATAGRAM",
     "WireError",
     "encode_packet",
     "decode_packet",
     "encode_value",
     "decode_value",
+    "fragment_frame",
+    "parse_fragment",
+    "is_fragment",
+    "Fragment",
+    "ReassembledFrame",
+    "Reassembler",
 ]
 
 #: Frame magic: identifies a membership datagram before version checks.
 MAGIC = b"RM"
 
+#: Fragment magic: identifies one slice of a fragmented frame.
+FRAG_MAGIC = b"RG"
+
 #: Current encoding version.  Bump on any change to tags or layouts.
 WIRE_VERSION = 1
+
+#: The hard OS limit on one UDP payload (IPv4: 65,535 - 20 IP - 8 UDP).
+MAX_UDP_PAYLOAD = 65507
+
+#: Default safe per-datagram budget; frames above it are fragmented.
+#: Deliberately below :data:`MAX_UDP_PAYLOAD` so the fragment header
+#: and loopback-stack slack never push a slice over the OS limit.
+DEFAULT_MAX_DATAGRAM = 61440
 
 _HEADER = struct.Struct(">2sBI")
 _U32 = struct.Struct(">I")
@@ -376,3 +418,237 @@ def decode_packet(data: bytes) -> Tuple[Packet, Optional[str]]:
         ttl=ttl,
     )
     return pkt, port
+
+
+# ----------------------------------------------------------------------
+# Fragmentation / reassembly
+# ----------------------------------------------------------------------
+#: magic (2) + version (1) + frame_id (u32) + index (u16) + count (u16)
+#: + origin length (u16); the origin string and the slice follow.
+_FRAG_FIXED = struct.Struct(">2sBIHHH")
+
+
+@dataclass(frozen=True, slots=True)
+class Fragment:
+    """One parsed fragment datagram."""
+
+    origin: str
+    frame_id: int
+    index: int
+    count: int
+    payload: bytes
+
+
+@dataclass(frozen=True, slots=True)
+class ReassembledFrame:
+    """A completed reassembly: the frame plus its original datagrams.
+
+    ``fragments`` are the fragment datagrams exactly as received, in
+    index order — a relay forwards those bytes instead of re-encoding.
+    """
+
+    payload: bytes
+    fragments: Tuple[bytes, ...]
+
+
+def is_fragment(data: bytes) -> bool:
+    """True when ``data`` starts with the fragment magic."""
+    return data[:2] == FRAG_MAGIC
+
+
+def fragment_frame(
+    data: bytes, origin: str, frame_id: int, max_payload: int = DEFAULT_MAX_DATAGRAM
+) -> List[bytes]:
+    """Split one encoded frame into sequenced fragment datagrams.
+
+    A frame that already fits in ``max_payload`` is returned as-is (no
+    wrapping overhead on the common path).  Every produced fragment is
+    at most ``max_payload`` bytes.  Raises :class:`WireError` when the
+    frame cannot be fragmented (budget smaller than the header, or more
+    than 65,535 slices needed).
+    """
+    if len(data) <= max_payload:
+        return [data]
+    origin_raw = origin.encode("utf-8")
+    if len(origin_raw) > 0xFFFF:
+        raise WireError("fragment origin too long")
+    overhead = _FRAG_FIXED.size + len(origin_raw)
+    chunk = max_payload - overhead
+    if chunk <= 0:
+        raise WireError(
+            f"max_payload {max_payload} leaves no room for fragment payload"
+        )
+    count = (len(data) + chunk - 1) // chunk
+    if count > 0xFFFF:
+        raise WireError(f"frame needs {count} fragments (limit 65535)")
+    frags: List[bytes] = []
+    for index in range(count):
+        part = data[index * chunk : (index + 1) * chunk]
+        head = _FRAG_FIXED.pack(
+            FRAG_MAGIC, WIRE_VERSION, frame_id & 0xFFFFFFFF, index, count, len(origin_raw)
+        )
+        frags.append(head + origin_raw + part)
+    return frags
+
+
+def parse_fragment(data: bytes) -> Optional[Fragment]:
+    """Parse one fragment datagram.
+
+    Returns ``None`` when ``data`` is not a fragment (wrong magic) so
+    callers can fall through to whole-frame decoding; raises
+    :class:`WireError` on a malformed fragment (version mismatch,
+    truncation, inconsistent counters).
+    """
+    if data[:2] != FRAG_MAGIC:
+        return None
+    if len(data) < _FRAG_FIXED.size:
+        raise WireError("fragment shorter than its header")
+    _magic, version, frame_id, index, count, origin_len = _FRAG_FIXED.unpack_from(data)
+    if version != WIRE_VERSION:
+        raise WireError(f"fragment version {version}, expected {WIRE_VERSION}")
+    if count == 0 or index >= count:
+        raise WireError(f"fragment index {index} outside count {count}")
+    origin_end = _FRAG_FIXED.size + origin_len
+    if len(data) < origin_end:
+        raise WireError("fragment truncated inside origin")
+    try:
+        origin = data[_FRAG_FIXED.size : origin_end].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireError("invalid utf-8 in fragment origin") from exc
+    return Fragment(
+        origin=origin,
+        frame_id=int(frame_id),
+        index=int(index),
+        count=int(count),
+        payload=data[origin_end:],
+    )
+
+
+class _Buffer:
+    __slots__ = ("count", "parts", "raws", "size", "last_update")
+
+    def __init__(self, count: int, now: float) -> None:
+        self.count = count
+        self.parts: Dict[int, bytes] = {}
+        self.raws: Dict[int, bytes] = {}
+        self.size = 0
+        self.last_update = now
+
+
+class Reassembler:
+    """Per-``(origin, frame_id)`` fragment buffers with a bounded budget.
+
+    * a buffer not touched within ``timeout`` seconds is dropped whole
+      (missing-fragment timeout; UDP loses slices, never retransmits);
+    * at most ``max_buffers`` concurrent frames and ``max_bytes`` total
+      buffered bytes — beyond either, the *stalest* buffer is evicted,
+      so one misbehaving sender cannot pin unbounded memory;
+    * duplicate fragments are counted and ignored; a fragment whose
+      ``count`` disagrees with its buffer poisons the frame and raises.
+
+    ``on_drop`` (if given) is called with ``"timeout"`` or ``"evicted"``
+    once per dropped buffer — the hook the runtime uses to count drops
+    in the obs registry.
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        timeout: float = 5.0,
+        max_buffers: int = 64,
+        max_bytes: int = 8 * 1024 * 1024,
+        on_drop: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self._clock = clock
+        self.timeout = timeout
+        self.max_buffers = max_buffers
+        self.max_bytes = max_bytes
+        self._on_drop = on_drop
+        self._buffers: Dict[Tuple[str, int], _Buffer] = {}
+        self._bytes = 0
+        #: Buffers dropped because a fragment never arrived in time.
+        self.timeouts = 0
+        #: Buffers dropped to stay inside the budget.
+        self.evictions = 0
+        #: Fragments ignored because their index was already buffered.
+        self.duplicates = 0
+        #: Frames fully reassembled.
+        self.completed = 0
+
+    @property
+    def pending(self) -> int:
+        """Open (incomplete) reassembly buffers."""
+        return len(self._buffers)
+
+    def _drop(self, key: Tuple[str, int], reason: str) -> None:
+        buf = self._buffers.pop(key)
+        self._bytes -= buf.size
+        if reason == "timeout":
+            self.timeouts += 1
+        else:
+            self.evictions += 1
+        if self._on_drop is not None:
+            self._on_drop(reason)
+
+    def expire(self, now: Optional[float] = None) -> int:
+        """Drop buffers whose last fragment is older than ``timeout``."""
+        if now is None:
+            now = self._clock()
+        stale = [
+            key
+            for key, buf in self._buffers.items()
+            if now - buf.last_update > self.timeout
+        ]
+        for key in stale:
+            self._drop(key, "timeout")
+        return len(stale)
+
+    def _evict_stalest(self) -> None:
+        key = min(self._buffers, key=lambda k: self._buffers[k].last_update)
+        self._drop(key, "evicted")
+
+    def add(self, data: bytes) -> Optional[ReassembledFrame]:
+        """Feed one fragment datagram; returns the frame when complete.
+
+        Raises :class:`WireError` when ``data`` is not a well-formed
+        fragment.  Returns ``None`` while the frame is still missing
+        slices (or the fragment was a duplicate).
+        """
+        frag = parse_fragment(data)
+        if frag is None:
+            raise WireError("not a fragment datagram")
+        now = self._clock()
+        self.expire(now)
+        key = (frag.origin, frag.frame_id)
+        buf = self._buffers.get(key)
+        if buf is None:
+            while len(self._buffers) >= self.max_buffers:
+                self._evict_stalest()
+            buf = _Buffer(frag.count, now)
+            self._buffers[key] = buf
+        elif buf.count != frag.count:
+            self._bytes -= buf.size
+            del self._buffers[key]
+            raise WireError(
+                f"fragment count changed mid-frame ({buf.count} -> {frag.count})"
+            )
+        if frag.index in buf.parts:
+            self.duplicates += 1
+            return None
+        buf.parts[frag.index] = frag.payload
+        buf.raws[frag.index] = data
+        buf.size += len(data)
+        buf.last_update = now
+        self._bytes += len(data)
+        if len(buf.parts) == buf.count:
+            self._bytes -= buf.size
+            del self._buffers[key]
+            self.completed += 1
+            payload = b"".join(buf.parts[i] for i in range(buf.count))
+            return ReassembledFrame(
+                payload=payload, fragments=tuple(buf.raws[i] for i in range(buf.count))
+            )
+        while self._bytes > self.max_bytes and self._buffers:
+            self._evict_stalest()
+        return None

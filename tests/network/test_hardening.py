@@ -1,0 +1,150 @@
+"""Real-network hardening smoke tests (marker: ``network``).
+
+The two cliffs PR 9 closes, exercised end-to-end over real loopback
+UDP:
+
+* a membership-view payload larger than one UDP datagram is delivered
+  intact daemon-to-daemon through the channel relay (fragmentation at
+  the sender, byte-for-byte fragment forwarding at the relay,
+  reassembly at the receiver);
+* SIGKILLing the active relay process mid-run does not prevent the
+  20-daemon cluster from re-converging — daemons detect the dead relay
+  via missing announce acks and fail over to the standby replica.
+
+Excluded from the default (tier-1) run; CI runs them in the dedicated
+network job under a hard timeout::
+
+    python -m pytest -m network -q tests/network/
+"""
+
+import asyncio
+import pathlib
+import socket
+import sys
+import time
+
+import pytest
+
+pytestmark = pytest.mark.network
+
+# The launcher doubles as the test harness (examples/ is not a package).
+_EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+if str(_EXAMPLES) not in sys.path:
+    sys.path.insert(0, str(_EXAMPLES))
+
+from launch_cluster import LocalCluster, build_spec  # noqa: E402
+
+from repro.cluster.directory import NodeRecord  # noqa: E402
+from repro.runtime.anet import (  # noqa: E402
+    AsyncRuntime,
+    ClusterSpec,
+    NodeSpec,
+    RelaySpec,
+)
+from repro.runtime.relay import serve  # noqa: E402
+from repro.runtime.wire import MAX_UDP_PAYLOAD, encode_packet  # noqa: E402
+from repro.net.packet import Packet  # noqa: E402
+
+NUM_NODES = 20
+SEGMENTS = 2
+HEARTBEAT_PERIOD = 0.5
+#: Worst-case relay blackout: RELAY_TIMEOUT (3 x 2 s re-announce) plus a
+#: tick of slack before the replica acks and multicast resumes.
+FAILOVER_SLACK = 10.0
+
+
+def _free_ports(count):
+    socks, ports = [], []
+    try:
+        for _ in range(count):
+            s = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            s.bind(("127.0.0.1", 0))
+            socks.append(s)
+            ports.append(s.getsockname()[1])
+        return ports
+    finally:
+        for s in socks:
+            s.close()
+
+
+def test_view_payload_larger_than_one_datagram_delivered_intact():
+    """>64 KiB of membership view crosses the relay daemon-to-daemon."""
+    relay_port, pa, pb = _free_ports(3)
+    spec = ClusterSpec(
+        relay=RelaySpec(host="127.0.0.1", port=relay_port),
+        nodes={
+            "a": NodeSpec(host="127.0.0.1", port=pa, segment="s0"),
+            "b": NodeSpec(host="127.0.0.1", port=pb, segment="s1"),
+        },
+    )
+    records = [
+        NodeRecord(node_id=f"node-{i:05d}", incarnation=i,
+                   services={"svc": f"range-{i}"}, attrs={})
+        for i in range(3000)
+    ]
+    payload = {"kind": "sync_snapshot", "records": records}
+    # The premise: this view genuinely exceeds one UDP datagram.
+    frame = encode_packet(
+        Packet(src="a", kind="sync", payload=payload, size=70000, channel="views", ttl=2)
+    )
+    assert len(frame) > MAX_UDP_PAYLOAD
+
+    async def scenario():
+        relay = await serve(spec, "127.0.0.1", relay_port)
+        a = AsyncRuntime(spec, "a")
+        b = AsyncRuntime(spec, "b")
+        await a.start()
+        await b.start()
+        a.activate()
+        b.activate()
+        got = []
+        try:
+            b.subscribe("views", got.append)
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + 30.0
+            while not got:
+                assert loop.time() < deadline, "oversize view never delivered"
+                a.publish("views", 2, "sync", payload, size=70000)
+                await asyncio.sleep(0.25)
+        finally:
+            a.close()
+            b.close()
+            relay.stop_sweeper()
+            relay._transport.close()
+        return got[0]
+
+    pkt = asyncio.run(scenario())
+    assert pkt.src == "a" and pkt.kind == "sync"
+    assert pkt.payload["records"] == records
+
+
+def test_relay_sigkill_mid_run_cluster_reconverges_via_replica():
+    """Kill the active relay under a converged 20-daemon cluster.
+
+    The blackout (up to the ack timeout) outlives the failure-detection
+    bound, so views dip; the assertion is that every survivor fails
+    over to the replica relay and the full view re-forms.
+    """
+    spec = build_spec(
+        NUM_NODES,
+        SEGMENTS,
+        config={"heartbeat_period": HEARTBEAT_PERIOD},
+        relay_replicas=1,
+    )
+    with LocalCluster(spec) as cluster:
+        took = cluster.wait_for_views(NUM_NODES, deadline=60.0)
+        assert took <= 60.0
+
+        cluster.kill_relay(0)
+        # Let the blackout play out fully (false deaths included) so
+        # re-convergence below genuinely proves multicast is back.
+        time.sleep(FAILOVER_SLACK)
+        cluster.wait_for_views(NUM_NODES, deadline=90.0)
+
+        # Every polled daemon reports the replica as its active relay.
+        for node_id in sorted(cluster.daemons)[:3]:
+            view = cluster.view(node_id)
+            assert view is not None
+            assert view["relay"]["active_index"] == 1
+            assert view["relay"]["failovers"] >= 1
+            assert view["relay"]["fallback"] is False

@@ -13,7 +13,11 @@ over a live asyncio loop — so the contract pinned in
 * non-positive periods and negative first delays are rejected;
 * a callback cancelling its own recurring timer stops it cleanly;
 * ``deactivate()`` called *inside* a timer callback cancels everything,
-  including the currently-firing timer, and leaves no live timers.
+  including the currently-firing timer, and leaves no live timers;
+* ``send`` to a spec-known destination is *accepted for send* (True);
+  the asyncio adapter additionally refuses unknown destinations and
+  unsendable datagrams instead of lying (the simulator cannot produce
+  either refusal, so those cases are adapter-specific).
 
 The sim harness asserts exact virtual-time cadence; the asyncio harness
 runs in real time with coarse tolerances (counts and invariants, not
@@ -42,6 +46,7 @@ class SimHarness:
         topo, hosts = build_switched_cluster(1, 2)
         self.net = Network(topo, seed=3)
         self.runtime = SimRuntime(self.net, hosts[0])
+        self.peer = hosts[1]
         self.runtime.activate()
 
     def run(self, duration):
@@ -63,9 +68,15 @@ class AsyncHarness:
         self.loop = asyncio.new_event_loop()
         spec = ClusterSpec(
             relay=RelaySpec(host="127.0.0.1", port=1),  # never contacted here
-            nodes={"n0": NodeSpec(host="127.0.0.1", port=0)},
+            nodes={
+                "n0": NodeSpec(host="127.0.0.1", port=0),
+                # A spec-known peer address nothing listens on: sends to
+                # it are accepted (the contract promises no delivery).
+                "n1": NodeSpec(host="127.0.0.1", port=1),
+            },
         )
         self.runtime = AsyncRuntime(spec, "n0")
+        self.peer = "n1"
         self.loop.run_until_complete(self.runtime.start())
         self.runtime.activate()
 
@@ -223,3 +234,30 @@ class TestDeactivateSemantics:
         assert runtime.live_timers == 1
         runtime.deactivate()
         assert runtime.live_timers == 0
+
+
+class TestSendContract:
+    def test_send_to_known_destination_accepted(self, harness):
+        # True = accepted for send, nothing more; both adapters agree
+        # for a destination the deployment knows an address for.
+        assert harness.runtime.send(harness.peer, "hb", {"x": 1}, size=10) is True
+
+    def test_publish_accepted_with_live_endpoint(self, harness):
+        assert harness.runtime.publish("chan", 2, "hb", {"x": 1}, size=10) is True
+
+    def test_unknown_destination_refused_by_real_transport(self, harness):
+        # Only the asyncio adapter can refuse locally: the simulator
+        # resolves hosts through the topology and has no address book.
+        if harness.name != "anet":
+            pytest.skip("simulator resolves destinations via the topology")
+        assert harness.runtime.send("ghost", "hb", None, size=0) is False
+
+    def test_unsendable_datagram_refused_by_real_transport(self, harness):
+        # An encoded frame beyond the OS datagram limit with
+        # fragmentation sidelined must come back False, not vanish.
+        if harness.name != "anet":
+            pytest.skip("simulated transport has no datagram size limit")
+        harness.runtime.max_datagram = 200_000  # sidestep fragmentation
+        ok = harness.runtime.send(harness.peer, "blob", b"x" * 70_000, size=70_000)
+        assert ok is False
+        assert harness.runtime.send_errors >= 1
