@@ -1,0 +1,157 @@
+"""The (detector x scheme) BDT/BCT matrix under chaos.
+
+Sweeps :class:`repro.chaos.lab.DetectorMatrixLab` — every failure-
+detection strategy (MAX_LOSS counter, SWIM, φ-accrual) crossed with
+every dissemination scheme (hierarchical, all-to-all, gossip) on the
+seeded chaos fabric (base loss everywhere, a directionally degraded
+inter-network link, one mid-run crash) — and records, per pair,
+
+* empirical detection / convergence times for the crash and the
+  steady-state aggregate bandwidth, multiplied into the paper's BDT/BCT
+  figures of merit, next to the closed-form model numbers,
+* the strategy's advertised detection bound and the gate derived from
+  it (twice the bound plus slack),
+* the invariant checker's verdict with the per-detector false-failure
+  budget.
+
+``--check`` is the CI gate: every pair must run green under the
+invariants, detect the crash within its gate, and stay inside its
+false-failure budget.  Count-based, so the gate is independent of
+runner speed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_detectors.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_detectors.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_detectors.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.chaos.lab import DetectorMatrixLab  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_detectors.json"
+
+FULL_SEEDS = [7, 23]
+QUICK_SEEDS = [7]
+
+
+def make_lab(seed: int, quick: bool) -> DetectorMatrixLab:
+    if quick:
+        return DetectorMatrixLab(
+            networks=3,
+            hosts_per_network=4,
+            seed=seed,
+            warmup=12.0,
+            bandwidth_window=6.0,
+            observe=25.0,
+            chaos_len=10.0,
+        )
+    return DetectorMatrixLab(seed=seed)
+
+
+def sweep(seeds: list[int], quick: bool) -> dict:
+    rows: list[dict] = []
+    for seed in seeds:
+        lab = make_lab(seed, quick)
+        rows.extend(DetectorMatrixLab.to_rows(lab.run()))
+
+    by_detector: dict[str, dict] = {}
+    for row in rows:
+        agg = by_detector.setdefault(
+            row["detector"],
+            {"pairs": 0, "ok": 0, "false_failures": 0, "worst_detection_s": None},
+        )
+        agg["pairs"] += 1
+        agg["ok"] += int(row["ok"])
+        agg["false_failures"] += row["false_failures"]
+        det = row["detection"]
+        if det is not None:
+            worst = agg["worst_detection_s"]
+            agg["worst_detection_s"] = det if worst is None else max(worst, det)
+
+    return {
+        "seeds": seeds,
+        "runs": rows,
+        "summary": {
+            "all_ok": all(r["ok"] for r in rows),
+            "pairs": len(rows),
+            "by_detector": by_detector,
+        },
+    }
+
+
+def run_check(report: dict) -> int:
+    """CI gate: every (detector, scheme, seed) pair green."""
+    failures = []
+    for r in report["runs"]:
+        tag = f"{r['detector']}/{r['scheme']}@seed{r['seed']}"
+        if r["violations"]:
+            failures.append(f"{tag}: violations {r['violations']}")
+        if r["detection"] is None:
+            failures.append(f"{tag}: crash never detected")
+        elif r["detection"] > r["detection_gate_s"]:
+            failures.append(
+                f"{tag}: detection {r['detection']:.2f}s "
+                f"> gate {r['detection_gate_s']:.2f}s"
+            )
+        if r["convergence"] is None:
+            failures.append(f"{tag}: views never converged")
+        if r["false_failures"] > r["false_failure_bound"]:
+            failures.append(
+                f"{tag}: {r['false_failures']} false failures "
+                f"(budget {r['false_failure_bound']})"
+            )
+    for line in failures:
+        print(f"check: FAIL {line}", file=sys.stderr)
+    verdict = "REGRESSION" if failures else "OK"
+    greens = sum(r["ok"] for r in report["runs"])
+    print(f"check: {len(report['runs'])} pairs, {greens} green -> {verdict}")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller fabric for CI smoke runs"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="nonzero exit unless every pair runs green under the invariants",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    seeds = QUICK_SEEDS if args.quick else FULL_SEEDS
+    report = {"quick": args.quick, **sweep(seeds, args.quick)}
+
+    if args.check:
+        print(json.dumps(report["summary"], indent=2))
+        return run_check(report)
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report["summary"], indent=2))
+    for r in report["runs"]:
+        det = f"{r['detection']:.2f}s" if r["detection"] is not None else "never"
+        conv = f"{r['convergence']:.2f}s" if r["convergence"] is not None else "never"
+        print(
+            f"{r['detector']:12s} {r['scheme']:13s} seed={r['seed']} "
+            f"detection={det} convergence={conv} "
+            f"bdt={r['bdt']:.0f} ok={r['ok']}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,9 +31,9 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Type
+from typing import Dict, Optional, Type
 
-from repro.protocols.gossip import gossip_fail_time
+from repro.detect.bounds import detection_bound
 
 __all__ = [
     "AnalysisParams",
@@ -61,6 +61,14 @@ class AnalysisParams:
     gossip_fanout: int = 1
     gossip_mistake_prob: float = 0.001
     hop_latency: float = 0.001  # update transmission time per tree hop
+    #: failure-detection strategy whose advertised bound the models quote
+    #: (:mod:`repro.detect.bounds`); the default reproduces the paper.
+    detector: str = "counter"
+    phi_threshold: float = 8.0
+    suspicion_timeout: float = 2.0
+    probe_timeout: float = 0.5
+    probe_period: Optional[float] = None  # None: the heartbeat period
+    indirect_probes: int = 3
 
 
 class SchemeModel(ABC):
@@ -76,9 +84,28 @@ class SchemeModel(ABC):
     def aggregate_bandwidth(self, n: int) -> float:
         """Summed receive bandwidth over all nodes, bytes/second."""
 
-    @abstractmethod
     def detection_time(self, n: int) -> float:
-        """Seconds from a failure to its first detection."""
+        """Seconds from a failure to its first detection.
+
+        One implementation for every scheme, routed through the active
+        detector's advertised bound (:func:`repro.detect.bounds.
+        detection_bound`) — the pre-refactor per-scheme formulas are the
+        ``counter`` branches of that function, so default-parameter
+        numbers are unchanged.
+        """
+        p = self.params
+        return detection_bound(
+            p.detector,
+            period=1.0 / p.freq,
+            max_loss=p.max_loss,
+            n=n,
+            scheme=self.name,
+            phi_threshold=p.phi_threshold,
+            suspicion_timeout=p.suspicion_timeout,
+            probe_timeout=p.probe_timeout,
+            probe_period=p.probe_period,
+            gossip_mistake_prob=p.gossip_mistake_prob,
+        )
 
     def convergence_time(self, n: int) -> float:
         """Seconds until every node's view reflects the failure.
@@ -110,10 +137,6 @@ class AllToAllModel(SchemeModel):
         p = self.params
         return p.freq * n * (n - 1) * p.member_size
 
-    def detection_time(self, n: int) -> float:
-        p = self.params
-        return p.max_loss / p.freq
-
 
 class GossipModel(SchemeModel):
     """Each gossip message carries the full n-entry view (n x s bytes)."""
@@ -123,10 +146,6 @@ class GossipModel(SchemeModel):
     def aggregate_bandwidth(self, n: int) -> float:
         p = self.params
         return p.freq * p.gossip_fanout * n * (n * p.member_size)
-
-    def detection_time(self, n: int) -> float:
-        p = self.params
-        return gossip_fail_time(n, 1.0 / p.freq, p.gossip_mistake_prob)
 
     def convergence_time(self, n: int) -> float:
         # Every node times the failure out independently, offset by the
@@ -156,10 +175,6 @@ class HierarchicalModel(SchemeModel):
         p = self.params
         g = min(p.group_size, n)
         return p.freq * self.num_groups(n) * g * (g - 1) * p.member_size
-
-    def detection_time(self, n: int) -> float:
-        p = self.params
-        return p.max_loss / p.freq
 
     def convergence_time(self, n: int) -> float:
         # Detection plus the update's trip up to the root and down every

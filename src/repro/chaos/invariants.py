@@ -35,7 +35,24 @@ from repro.net.topology import UNREACHABLE
 from repro.protocols.base import MembershipNode
 from repro.sim.trace import TraceRecord
 
-__all__ = ["InvariantChecker", "Violation"]
+__all__ = ["InvariantChecker", "Violation", "false_failure_bound"]
+
+#: Per-detector false-failure budgets (scenario-long counts).  The
+#: counter and SWIM strategies declare on hard evidence (k missed
+#: deadlines / failed probes + suspicion), so they share the historical
+#: bound; φ-accrual is probabilistic by construction — its threshold
+#: trades detection speed against exactly these mistakes — and earns a
+#: proportionally larger budget under the same chaos.
+FALSE_FAILURE_BOUND_FACTORS: Dict[str, int] = {
+    "counter": 10,
+    "swim": 10,
+    "phi-accrual": 20,
+}
+
+
+def false_failure_bound(detector: str) -> int:
+    """Scenario false-failure budget for ``detector`` (default strategies': 10)."""
+    return FALSE_FAILURE_BOUND_FACTORS.get(detector, 10)
 
 
 @dataclass(frozen=True)
@@ -63,7 +80,10 @@ class InvariantChecker:
         slowest legitimate removal path: relayed timeout + the deepest
         level timeout + two heartbeat periods.
     max_false_failures:
-        Upper bound for :meth:`check_false_failures`.
+        Upper bound for :meth:`check_false_failures`.  ``None`` (default)
+        derives it from the deployment's failure-detection strategy via
+        :func:`false_failure_bound` — adaptive detectors are budgeted
+        more mistakes than deadline ones under the same chaos.
     """
 
     def __init__(
@@ -72,11 +92,17 @@ class InvariantChecker:
         nodes: Dict[str, MembershipNode],
         leader_streak: int = 3,
         zombie_grace: Optional[float] = None,
-        max_false_failures: int = 10,
+        max_false_failures: Optional[int] = None,
     ) -> None:
         self.network = network
         self.nodes = nodes
         self.leader_streak = leader_streak
+        if max_false_failures is None:
+            detector = "counter"
+            for node in nodes.values():
+                detector = getattr(node.config, "detector", "counter")
+                break
+            max_false_failures = false_failure_bound(detector)
         self.max_false_failures = max_false_failures
         if zombie_grace is None:
             zombie_grace = self._default_grace()
@@ -96,15 +122,26 @@ class InvariantChecker:
         network.trace.subscribe(self._on_record)
 
     def _default_grace(self) -> float:
+        # Legitimate removal can take as long as the slowest node's
+        # detector bound (every flat-scheme node times the death out
+        # independently), so the grace scales with the active strategy —
+        # a φ threshold of 8 legitimately holds entries ~4x longer than
+        # MAX_LOSS counting does.
+        n = max(len(self.nodes), 2)
+        grace = 30.0  # floor: flat-scheme stragglers time out independently
         for node in self.nodes.values():
             cfg = node.config
             if hasattr(cfg, "relayed_timeout") and hasattr(cfg, "level_timeout"):
-                return (
+                grace = max(
+                    grace,
                     cfg.relayed_timeout
                     + cfg.level_timeout(cfg.max_level)
-                    + 2 * cfg.heartbeat_period
+                    + 2 * cfg.heartbeat_period,
                 )
-        return 30.0
+            bound = node.detector.detection_bound(n=n, scheme=node.scheme)
+            grace = max(grace, 2.0 * bound + 2.0 * cfg.heartbeat_period)
+            break  # deployments are homogeneous; the first node suffices
+        return grace
 
     # ------------------------------------------------------------------
     # Driving

@@ -159,9 +159,10 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
     import asyncio
     import dataclasses
     import json
+    import os
     import signal
 
-    from repro.core.config import HierarchicalConfig
+    from repro.core.config import HierarchicalConfig, detector_overrides_from_env
     from repro.obs.wiring import Instruments
     from repro.runtime.anet import AsyncRuntime, ClusterSpec
 
@@ -169,6 +170,15 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
     config = HierarchicalConfig()
     if spec.config:
         config = dataclasses.replace(config, **spec.config)
+    # Detector overrides, lowest to highest precedence: spec < env < flags.
+    overrides = detector_overrides_from_env(os.environ)
+    for attr in ("detector", "probe_period", "probe_timeout", "indirect_probes",
+                 "suspicion_timeout", "phi_threshold", "phi_window"):
+        value = getattr(args, attr, None)
+        if value is not None:
+            overrides[attr] = value
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
 
     async def _serve_http(
         node: HierarchicalNode, handle_registry, runtime: "AsyncRuntime"
@@ -397,6 +407,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--duration", type=float, default=None, metavar="SEC",
                    help="exit after SEC seconds (default: run until SIGTERM)")
+    p.add_argument("--detector", choices=["counter", "swim", "phi-accrual"],
+                   default=None,
+                   help="failure-detection strategy (default: spec/env/counter)")
+    p.add_argument("--probe-period", type=float, default=None, metavar="SEC",
+                   help="swim: probe round period")
+    p.add_argument("--probe-timeout", type=float, default=None, metavar="SEC",
+                   help="swim: per-probe ack timeout")
+    p.add_argument("--indirect-probes", type=int, default=None, metavar="K",
+                   help="swim: number of indirect ping-req relays")
+    p.add_argument("--suspicion-timeout", type=float, default=None, metavar="SEC",
+                   help="swim: suspicion-to-declaration delay")
+    p.add_argument("--phi-threshold", type=float, default=None,
+                   help="phi-accrual: declaration threshold")
+    p.add_argument("--phi-window", type=int, default=None,
+                   help="phi-accrual: inter-arrival window length")
     p.set_defaults(fn=_cmd_daemon)
 
     p = sub.add_parser("analysis", help="Section 4 closed forms")

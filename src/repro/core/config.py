@@ -33,7 +33,12 @@ from typing import Dict, List, Mapping, Tuple
 from repro.cluster.service import ServiceSpec
 from repro.protocols.base import ProtocolConfig
 
-__all__ = ["HierarchicalConfig", "parse_config_text", "render_config_text"]
+__all__ = [
+    "HierarchicalConfig",
+    "parse_config_text",
+    "render_config_text",
+    "detector_overrides_from_env",
+]
 
 
 @dataclass(frozen=True)
@@ -182,6 +187,14 @@ def parse_config_text(text: str) -> Tuple[HierarchicalConfig, List[ServiceSpec]]
         "MAX_LOSS": ("max_loss", int),
         "MEMBER_SIZE": ("member_size", int),
         "PIGGYBACK": ("piggyback_depth", int),
+        # Failure-detection strategy selection and knobs (repro.detect).
+        "DETECTOR": ("detector", lambda v: v.strip().lower()),
+        "PROBE_PERIOD": ("probe_period", float),
+        "PROBE_TIMEOUT": ("probe_timeout", float),
+        "INDIRECT_PROBES": ("indirect_probes", int),
+        "SUSPICION_TIMEOUT": ("suspicion_timeout", float),
+        "PHI_THRESHOLD": ("phi_threshold", float),
+        "PHI_WINDOW": ("phi_window", int),
     }
     addr = system.pop("MCAST_ADDR", None)
     port = system.pop("MCAST_PORT", None)
@@ -202,6 +215,7 @@ def parse_config_text(text: str) -> Tuple[HierarchicalConfig, List[ServiceSpec]]
             raise ValueError(f"unknown *SYSTEM key {key!r}")
         attr, conv = mapping[key]
         config = replace(config, **{attr: conv(value)})
+    _validate_detector(config.detector)
 
     specs: List[ServiceSpec] = []
     for name, params in services:
@@ -209,6 +223,44 @@ def parse_config_text(text: str) -> Tuple[HierarchicalConfig, List[ServiceSpec]]
         partition = params.pop("PARTITION", "0")
         specs.append(ServiceSpec.make(name, partition, **params))
     return config, specs
+
+
+def _validate_detector(name: str) -> None:
+    """Reject unknown detector names at parse time, not at node start."""
+    from repro.detect import DETECTORS
+
+    if name not in DETECTORS:
+        raise ValueError(f"unknown DETECTOR {name!r}; pick one of {sorted(DETECTORS)}")
+
+
+#: environment variables overriding the detector knobs (daemon runners);
+#: variable -> (config attribute, converter).
+_ENV_DETECTOR_KEYS: Dict[str, Tuple[str, object]] = {
+    "REPRO_DETECTOR": ("detector", lambda v: v.strip().lower()),
+    "REPRO_PROBE_PERIOD": ("probe_period", float),
+    "REPRO_PROBE_TIMEOUT": ("probe_timeout", float),
+    "REPRO_INDIRECT_PROBES": ("indirect_probes", int),
+    "REPRO_SUSPICION_TIMEOUT": ("suspicion_timeout", float),
+    "REPRO_PHI_THRESHOLD": ("phi_threshold", float),
+    "REPRO_PHI_WINDOW": ("phi_window", int),
+}
+
+
+def detector_overrides_from_env(environ: Mapping[str, str]) -> Dict[str, object]:
+    """Detector config overrides from ``REPRO_*`` environment variables.
+
+    Returns ``{attribute: value}`` suitable for ``dataclasses.replace``;
+    unknown detector names fail loudly here (same rule as the file parser).
+    """
+    overrides: Dict[str, object] = {}
+    for var, (attr, conv) in _ENV_DETECTOR_KEYS.items():
+        raw = environ.get(var)
+        if raw is None or raw == "":
+            continue
+        overrides[attr] = conv(raw)  # type: ignore[operator]
+    if "detector" in overrides:
+        _validate_detector(str(overrides["detector"]))
+    return overrides
 
 
 def render_config_text(config: HierarchicalConfig, services: List[ServiceSpec]) -> str:
@@ -223,6 +275,23 @@ def render_config_text(config: HierarchicalConfig, services: List[ServiceSpec]) 
         f"MCAST_FREQ = {1.0 / config.heartbeat_period:g}",
         f"MAX_LOSS = {config.max_loss}",
     ]
+    # Detector block: emitted only when something differs from the default
+    # strategy, so pre-existing configs round-trip to identical text.
+    defaults = HierarchicalConfig()
+    if config.detector != defaults.detector:
+        lines.append(f"DETECTOR = {config.detector}")
+    if config.probe_period != defaults.probe_period:
+        lines.append(f"PROBE_PERIOD = {config.probe_period:g}")
+    if config.probe_timeout != defaults.probe_timeout:
+        lines.append(f"PROBE_TIMEOUT = {config.probe_timeout:g}")
+    if config.indirect_probes != defaults.indirect_probes:
+        lines.append(f"INDIRECT_PROBES = {config.indirect_probes}")
+    if config.suspicion_timeout != defaults.suspicion_timeout:
+        lines.append(f"SUSPICION_TIMEOUT = {config.suspicion_timeout:g}")
+    if config.phi_threshold != defaults.phi_threshold:
+        lines.append(f"PHI_THRESHOLD = {config.phi_threshold:g}")
+    if config.phi_window != defaults.phi_window:
+        lines.append(f"PHI_WINDOW = {config.phi_window}")
     for level, name in sorted(config.channel_overrides):
         lines.append(f"CHANNEL_L{level} = {name}")
     lines += ["", "*SERVICE"]

@@ -99,12 +99,21 @@ class GroupState:
     def purge_silent(self, now: float, timeout: float) -> List[PeerState]:
         """Remove and return peers silent for more than ``timeout``."""
         dead = [p for p in self.peers.values() if now - p.last_heard > timeout]
+        self.purge_peers(dead)
+        return dead
+
+    def purge_peers(self, dead: List[PeerState]) -> None:
+        """Remove an externally-judged dead set (the detector's verdict).
+
+        Split out of :meth:`purge_silent` so the failure-detection
+        strategy owns the *judgement* while the group keeps the
+        bookkeeping (leader-set invalidation) in one place.
+        """
         for p in dead:
             del self.peers[p.node_id]
             if p.node_id in self._leader_ids:
                 self._leader_ids.discard(p.node_id)
                 self._leaders_sorted = None
-        return dead
 
     # ------------------------------------------------------------------
     # Election views

@@ -94,6 +94,7 @@ class HierarchicalNode(MembershipNode):
                 self.config.piggyback_depth,
                 uid_alloc=self._make_uid_alloc(),
             ),
+            detector=self.detector,
         )
         self._announcer = Announcer(self._ctx)
         self._receiver = Receiver(self._ctx)
@@ -118,6 +119,45 @@ class HierarchicalNode(MembershipNode):
         """
         hook = getattr(self.network, "uid_alloc", None)
         return hook(self.node_id) if callable(hook) else None
+
+    # ==================================================================
+    # Failure-detection seam
+    # ==================================================================
+    def _wire_detector(self) -> None:
+        # Probes ride the existing hmember unicast port — an active
+        # detector costs the scheme no extra bind, and the default
+        # counter strategy sends nothing at all.  Called from the base
+        # __init__ before ``_ctx`` exists: attach only closures/bound
+        # methods that resolve state at call time.
+        from repro.detect import UnicastProber
+
+        self.detector.attach(
+            prober=UnicastProber(self.runtime, HMEMBER_PORT, self.config.header_size),
+            members=self._probe_candidates,
+        )
+
+    def _probe_candidates(self) -> List[str]:
+        """Peers heard directly on any channel — the probe target pool."""
+        seen: Set[str] = set()
+        for group in self._ctx.groups.values():
+            seen.update(group.peers)
+        seen.discard(self.node_id)
+        return sorted(seen)
+
+    def _on_detector_rebuilt(self) -> None:
+        self._ctx.detector = self.detector
+        # Channel handlers pre-resolve the observation hook; rebuild them
+        # so they point at the new strategy (subscribe replaces in place).
+        for level in self._ctx.levels:
+            self.runtime.subscribe(
+                self.config.channel(level), self._receiver.channel_handler(level)
+            )
+
+    def apply_config(self, config: HierarchicalConfig) -> None:
+        super().apply_config(config)
+        # The context denormalises the config; keep it in lockstep (the
+        # control plane replaces the frozen dataclass wholesale).
+        self._ctx.config = self.config
 
     # ==================================================================
     # Lifecycle (template in MembershipNode; scheme hooks here)

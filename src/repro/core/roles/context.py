@@ -31,6 +31,7 @@ if TYPE_CHECKING:
     from repro.core.roles.receiver import Receiver
     from repro.core.roles.tracker import Tracker
     from repro.core.updates import UpdateManager
+    from repro.detect import FailureDetector
     from repro.runtime.ports import NodeRuntime
 
 __all__ = ["NodeContext", "MemberHost"]
@@ -73,6 +74,7 @@ class NodeContext:
         directory: "Directory",
         rng: "random.Random",
         updates: "UpdateManager",
+        detector: "Optional[FailureDetector]" = None,
     ) -> None:
         self.node = node
         #: the host's (immutable) id, denormalised onto the context — it is
@@ -84,6 +86,14 @@ class NodeContext:
         self.directory = directory
         self.rng = rng
         self.updates = updates
+        if detector is None:
+            # Standalone contexts (role unit tests) get the default
+            # strategy; the node facade passes its own detector in.
+            from repro.detect import CounterDetector
+
+            detector = CounterDetector(config, runtime)
+        #: the failure-detection strategy judging peer liveness
+        self.detector: "FailureDetector" = detector
         #: level -> this node's view of that channel
         self.groups: Dict[int, GroupState] = {}
         #: sorted cache of ``groups``' keys, maintained on join/leave so

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core.updates import UpdateOp
+from repro.detect import handle_probe_packet
 
 if TYPE_CHECKING:
     from repro.core.heartbeat import Heartbeat
@@ -62,6 +63,11 @@ class Receiver:
         maybe_sync = ctx.maybe_sync
         evaluate = ctx.contender.evaluate
         relay_level = level >= 1
+        # Pre-resolve the detector observation hook: the default counter
+        # strategy is passive (group freshness stamps are its evidence),
+        # so the hot path pays a single None test for pluggability.
+        detector = ctx.detector
+        observe_hb = None if detector.passive else detector.observe_heartbeat
 
         def handler(packet: "Packet") -> None:
             if not node.running or level not in groups:
@@ -97,6 +103,8 @@ class Receiver:
                             if tombstones:
                                 tombstones.pop(nid, None)
                             peer.last_heard = now
+                            if observe_hb is not None:
+                                observe_hb(level, nid, now, peer.incarnation)
                             if hb.is_leader:
                                 vouch(nid, now)
                                 if (
@@ -177,6 +185,9 @@ class Receiver:
                 if ctx.tombstones:
                     ctx.tombstones.pop(nid, None)
                 peer.last_heard = now
+                det = ctx.detector
+                if not det.passive:
+                    det.observe_heartbeat(level, nid, now, peer.incarnation)
                 if hb.is_leader:
                     directory.vouch(nid, now)
                     if (
@@ -196,6 +207,9 @@ class Receiver:
         # Hearing a node directly is proof of life: clear any certificate.
         ctx.tombstones.pop(hb.node_id, None)
         peer_is_new = group.note_heartbeat(hb, now)
+        det = ctx.detector
+        if not det.passive:
+            det.observe_heartbeat(level, hb.node_id, now, hb.record.incarnation)
         newly_in_directory = hb.node_id not in ctx.directory
         ctx.directory.upsert(hb.record, now)
         ctx.directory.refresh(hb.node_id, now, relayed_by=None)
@@ -265,3 +279,9 @@ class Receiver:
             for level, seq in packet.payload.get("seqs", {}).items():
                 if level in ctx.groups:
                     ctx.updates.note_synced(packet.src, level, seq)
+        else:
+            # Probe traffic (active detectors) rides the same unicast port
+            # so the scheme needs no extra bind; zero traffic otherwise.
+            handle_probe_packet(
+                ctx.runtime, ctx.detector, packet, HMEMBER_PORT, ctx.config.header_size
+            )

@@ -40,12 +40,19 @@ class Tracker:
         if ctx.pending_syncs:
             for peer in sorted(ctx.pending_syncs):
                 ctx.maybe_sync(peer)
+        det = ctx.detector
         for level in ctx.levels:
             group = ctx.groups.get(level)
             if group is None:
                 continue  # removed by a step-down earlier in this tick
             timeout = ctx.config.level_timeout(level)
-            for peer in group.purge_silent(now, timeout):
+            # The strategy judges, the group bookkeeps: with the default
+            # counter detector this is purge_silent verbatim (same
+            # predicate, same iteration order).
+            dead = det.silent_peers(level, group, now, timeout)
+            if dead:
+                group.purge_peers(dead)
+            for peer in dead:
                 self.handle_peer_death(level, peer)
         for level in ctx.levels:
             if level in ctx.groups:
@@ -95,6 +102,7 @@ class Tracker:
         ctx = self.ctx
         group = ctx.groups[level]
         now = ctx.now
+        ctx.detector.forget(peer.node_id, level)
 
         if peer.is_leader:
             group.last_dead_leader = peer.node_id

@@ -66,7 +66,19 @@ class MService:
     """
 
     #: commands accepted by :meth:`control`
-    CONTROL_COMMANDS = ("heartbeat_period", "max_loss", "max_ttl")
+    CONTROL_COMMANDS = (
+        "heartbeat_period",
+        "max_loss",
+        "max_ttl",
+        # failure-detection strategy selection and knobs
+        "detector",
+        "probe_period",
+        "probe_timeout",
+        "indirect_probes",
+        "suspicion_timeout",
+        "phi_threshold",
+        "phi_window",
+    )
 
     def __init__(
         self,
@@ -92,12 +104,26 @@ class MService:
         return self.node.config
 
     def control(self, cmd: str, arg: Any) -> None:
-        """Adjust a runtime parameter (the paper's ``control`` call)."""
+        """Adjust a runtime parameter (the paper's ``control`` call).
+
+        Config dataclasses are frozen, so the node adopts a replacement
+        through ``apply_config`` — which also rebuilds the failure
+        detector (switching strategies mid-run is supported) and keeps
+        the role context's config reference in lockstep.
+        """
         if cmd not in self.CONTROL_COMMANDS:
             raise ValueError(f"unknown control command {cmd!r}")
+        if cmd == "detector":
+            from repro.detect import DETECTORS
+
+            arg = str(arg).strip().lower()
+            if arg not in DETECTORS:
+                raise ValueError(
+                    f"unknown detector {arg!r}; pick one of {sorted(DETECTORS)}"
+                )
         from dataclasses import replace
 
-        self.node.config = replace(self.node.config, **{cmd: arg})
+        self.node.apply_config(replace(self.node.config, **{cmd: arg}))
 
     def run(self) -> None:
         """Start the daemon threads (announcer/receiver/tracker/...)."""

@@ -1,0 +1,93 @@
+"""The paper's MAX_LOSS missed-heartbeat counter, as a strategy.
+
+This is the pre-refactor detector verbatim: a peer is dead after
+``timeout`` seconds of silence (``max_loss × heartbeat_period`` at the
+base level), judged off the freshness stamps the schemes already keep —
+``PeerState.last_heard`` for channel groups, the directory's refresh
+deadline heap for the flat all-to-all view, and a last-increase map for
+gossip counters.  It is **passive** (no observation hook on the hot
+receive path for group/directory scopes), owns no timers, draws no
+randomness and sends nothing, which is what keeps the five golden
+SHA-256 seeded traces byte-identical across the strategy-layer refactor.
+
+The one observation it does record is the gossip scheme's
+counter-increase time (gossip has no other freshness stamp to delegate
+to); those calls happen on the gossip merge path only, in the exact
+places the scheme's own ``_last_increase`` bookkeeping used to live.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.detect.base import FailureDetector, Scope
+
+if TYPE_CHECKING:
+    from repro.cluster.directory import Directory
+    from repro.core.groups import GroupState, PeerState
+    from repro.protocols.base import ProtocolConfig
+    from repro.runtime.ports import NodeRuntime
+
+__all__ = ["CounterDetector"]
+
+
+class CounterDetector(FailureDetector):
+    """Deadline detector: silent for ``timeout`` seconds ⇒ dead."""
+
+    name = "counter"
+    passive = True
+    uses_probes = False
+
+    def __init__(self, config: "ProtocolConfig", runtime: "NodeRuntime") -> None:
+        super().__init__(config, runtime)
+        #: (scope, peer) -> last observation time; only the gossip scheme
+        #: feeds this (its counter-increase clock), group and directory
+        #: scopes keep their own stamps.
+        self._last_seen: Dict[Tuple[Scope, str], float] = {}
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._last_seen.clear()
+
+    def stop(self) -> None:
+        self._last_seen.clear()
+
+    def observe_heartbeat(
+        self, scope: Scope, peer_id: str, now: float, incarnation: int = 0
+    ) -> None:
+        self._last_seen[(scope, peer_id)] = now
+
+    def forget(self, peer_id: str, scope: Optional[Scope] = None) -> None:
+        if scope is not None:
+            self._last_seen.pop((scope, peer_id), None)
+        else:
+            for key in [k for k in self._last_seen if k[1] == peer_id]:
+                del self._last_seen[key]
+
+    # ------------------------------------------------------------------
+    def silent_peers(
+        self, scope: Scope, group: "GroupState", now: float, timeout: float
+    ) -> List["PeerState"]:
+        # Exactly GroupState.purge_silent's predicate, over the same
+        # insertion-ordered iteration (byte-identity depends on it).
+        return [p for p in group.peers.values() if now - p.last_heard > timeout]
+
+    def silent_ids(
+        self, scope: Scope, candidates: Sequence[str], now: float, timeout: float
+    ) -> List[str]:
+        last = self._last_seen
+        return [
+            nid for nid in candidates if now - last.get((scope, nid), now) > timeout
+        ]
+
+    def purge_directory(
+        self,
+        scope: Scope,
+        directory: "Directory",
+        now: float,
+        timeout: float,
+        incarnations: Optional[Dict[str, int]] = None,
+    ) -> List[str]:
+        # Delegate to the directory's own deadline purge (the deadline-heap
+        # fast path) — the exact call the all-to-all tick used to make.
+        return directory.purge_stale(now, timeout, incarnations=incarnations)

@@ -1,0 +1,144 @@
+"""φ-accrual failure detection (Hayashibara et al., SRDS 2004), simplified.
+
+Instead of a fixed deadline, accrue *suspicion* continuously: keep a
+sliding window of heartbeat inter-arrival times per ``(scope, peer)``
+and ask how implausible the current silence is under the observed
+cadence.  With the exponential inter-arrival model the suspicion level
+is
+
+    ``φ(t) = t_since_last / (mean_interval · ln 10)``
+
+(φ = 1 means "90% sure it's dead", φ = 2 "99%", ...); a peer is declared
+once ``φ > phi_threshold``.  The detector therefore *adapts*: a peer
+whose heartbeats arrive jittered or thinned by loss grows a larger mean
+and earns proportionally more patience, which is exactly what bounds
+false positives under the chaos fabric's loss regimes without retuning
+``max_loss`` per link.
+
+Until a window has ``min_samples`` intervals the strategy falls back to
+the scheme's counter deadline (a fresh peer has no cadence yet).  The
+detector is active (the receive paths feed it observations) but sends
+no probes and owns no timers — scoring happens at query time, so there
+is nothing to cancel on :meth:`PhiAccrualDetector.stop`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.detect.base import FailureDetector, Scope
+from repro.detect.bounds import LN10
+
+if TYPE_CHECKING:
+    from repro.core.groups import GroupState, PeerState
+    from repro.protocols.base import ProtocolConfig
+    from repro.runtime.ports import NodeRuntime
+
+__all__ = ["PhiAccrualDetector"]
+
+#: intervals required before φ scoring replaces the deadline fallback
+MIN_SAMPLES = 3
+
+#: ignore implausibly small means: a burst of duplicated heartbeats must
+#: not teach the detector a microsecond cadence and kill everyone
+MIN_MEAN = 1e-3
+
+
+class _ArrivalWindow:
+    """Inter-arrival statistics for one (scope, peer) stream."""
+
+    __slots__ = ("last", "intervals", "total")
+
+    def __init__(self, maxlen: int) -> None:
+        self.last: Optional[float] = None
+        self.intervals: Deque[float] = deque(maxlen=maxlen)
+        self.total = 0.0
+
+    def observe(self, now: float) -> None:
+        last = self.last
+        if last is not None:
+            interval = now - last
+            if interval > 0.0:
+                if len(self.intervals) == self.intervals.maxlen:
+                    self.total -= self.intervals[0]
+                self.intervals.append(interval)
+                self.total += interval
+        self.last = now
+
+    def phi(self, now: float) -> Optional[float]:
+        """Current suspicion level, or None while the window is warming up."""
+        if self.last is None or len(self.intervals) < MIN_SAMPLES:
+            return None
+        mean = max(self.total / len(self.intervals), MIN_MEAN)
+        return (now - self.last) / (mean * LN10)
+
+
+class PhiAccrualDetector(FailureDetector):
+    """Adaptive inter-arrival detector with a configurable φ threshold."""
+
+    name = "phi-accrual"
+    passive = False
+    uses_probes = False
+
+    def __init__(self, config: "ProtocolConfig", runtime: "NodeRuntime") -> None:
+        super().__init__(config, runtime)
+        self._windows: Dict[Tuple[Scope, str], _ArrivalWindow] = {}
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._windows.clear()
+
+    def stop(self) -> None:
+        self._windows.clear()
+
+    def observe_heartbeat(
+        self, scope: Scope, peer_id: str, now: float, incarnation: int = 0
+    ) -> None:
+        key = (scope, peer_id)
+        window = self._windows.get(key)
+        if window is None:
+            window = self._windows[key] = _ArrivalWindow(self.config.phi_window)
+        window.observe(now)
+
+    def forget(self, peer_id: str, scope: Optional[Scope] = None) -> None:
+        if scope is not None:
+            self._windows.pop((scope, peer_id), None)
+        else:
+            for key in [k for k in self._windows if k[1] == peer_id]:
+                del self._windows[key]
+
+    # ------------------------------------------------------------------
+    def phi(self, scope: Scope, peer_id: str, now: float) -> Optional[float]:
+        """Suspicion level for one peer (None while warming up)."""
+        window = self._windows.get((scope, peer_id))
+        return window.phi(now) if window is not None else None
+
+    def _is_dead(
+        self, scope: Scope, peer_id: str, last_heard: Optional[float], now: float, timeout: float
+    ) -> bool:
+        score = self.phi(scope, peer_id, now)
+        if score is not None:
+            return score > self.config.phi_threshold
+        # Warm-up fallback: the scheme's counter deadline.
+        return last_heard is not None and now - last_heard > timeout
+
+    def silent_peers(
+        self, scope: Scope, group: "GroupState", now: float, timeout: float
+    ) -> List["PeerState"]:
+        return [
+            p
+            for p in group.peers.values()
+            if self._is_dead(scope, p.node_id, p.last_heard, now, timeout)
+        ]
+
+    def silent_ids(
+        self, scope: Scope, candidates: Sequence[str], now: float, timeout: float
+    ) -> List[str]:
+        dead = []
+        for nid in candidates:
+            window = self._windows.get((scope, nid))
+            last = window.last if window is not None else None
+            if self._is_dead(scope, nid, last, now, timeout):
+                dead.append(nid)
+        return dead

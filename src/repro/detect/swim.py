@@ -1,0 +1,229 @@
+"""SWIM-style failure detection (Das, Gupta & Motivala, DSN 2002).
+
+Each probe round, pick one uniformly-random member and ping it directly;
+if no ack lands within ``probe_timeout``, ask ``indirect_probes`` random
+relays to ping it on our behalf (the ack still comes straight back to
+us); if the second timeout also lapses, *suspect* the peer rather than
+declare it — suspicion converts to a death declaration only after
+``suspicion_timeout`` more seconds with no proof of life.  Any heartbeat
+or ack from the peer meanwhile refutes the suspicion; a heartbeat with
+an incarnation at least as new as a standing *declaration* clears that
+too (the protocol layer's refute-death bump rides in on exactly such a
+heartbeat).
+
+Determinism: targets and relays come from the dedicated RNG stream
+``detect.swim.<node>`` (named streams are independently seeded, so
+adding this one never perturbs existing draws), rounds ride
+``call_every`` with a stream-drawn phase, and the probe timeouts are
+epoch-guarded ``call_once`` timers tracked so :meth:`SwimDetector.stop`
+cancels every one of them.
+
+Scheme integration: probes travel as unicast ``probe``/``probe-req``/
+``probe-ack`` datagrams (:class:`~repro.detect.base.UnicastProber`) on
+the scheme's chosen port; group queries honour plain channel silence as
+a fallback deadline, so hierarchical semantics built on per-channel
+silence (leader abdication vs. death) are preserved — SWIM only ever
+*adds* earlier, probe-driven declarations on top.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.detect.base import FailureDetector, Scope
+
+if TYPE_CHECKING:
+    import random
+
+    from repro.core.groups import GroupState, PeerState
+    from repro.protocols.base import ProtocolConfig
+    from repro.runtime.ports import NodeRuntime, TimerHandle
+
+__all__ = ["SwimDetector"]
+
+
+class SwimDetector(FailureDetector):
+    """Ping / indirect ping-req / suspicion detector."""
+
+    name = "swim"
+    passive = False
+    uses_probes = True
+
+    def __init__(self, config: "ProtocolConfig", runtime: "NodeRuntime") -> None:
+        super().__init__(config, runtime)
+        self._rng: Optional["random.Random"] = None
+        self._round: Optional["TimerHandle"] = None
+        #: live probe-timeout one-shots, keyed by (target, seq) so stop()
+        #: can cancel them all (runtime.deactivate would too, but the
+        #: detector must be stoppable independently of the node's life).
+        self._timers: Dict[Tuple[str, int], "TimerHandle"] = {}
+        #: in-flight probe sequence per target; an ack/heartbeat clears it
+        self._pending: Dict[str, int] = {}
+        self._seq = 0
+        #: peer -> (suspected incarnation, declaration deadline)
+        self._suspects: Dict[str, Tuple[int, float]] = {}
+        #: peer -> incarnation it was declared dead at
+        self._declared: Dict[str, int] = {}
+        #: best known incarnation per peer (from heartbeat observations)
+        self._incarnations: Dict[str, int] = {}
+        #: last heartbeat time per peer — the flat schemes have no
+        #: PeerState stamps, so the silence fallback reads this map
+        self._last_heard: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._clear()
+        rng = self.runtime.rng_stream(f"detect.swim.{self.runtime.node_id}")
+        self._rng = rng
+        period = self.config.probe_period
+        self._round = self.runtime.call_every(
+            period, self._probe_round, first_delay=rng.uniform(0, period)
+        )
+
+    def stop(self) -> None:
+        if self._round is not None:
+            self._round.cancel()
+            self._round = None
+        for handle in self._timers.values():
+            handle.cancel()
+        self._clear()
+
+    def _clear(self) -> None:
+        self._timers.clear()
+        self._pending.clear()
+        self._suspects.clear()
+        self._declared.clear()
+        self._incarnations.clear()
+        self._last_heard.clear()
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Probe machinery
+    # ------------------------------------------------------------------
+    def _candidates(self) -> List[str]:
+        return [m for m in self._members() if m not in self._declared]
+
+    def _probe_round(self) -> None:
+        prober = self.prober
+        rng = self._rng
+        if prober is None or rng is None:
+            return
+        pool = self._candidates()
+        if not pool:
+            return
+        target = rng.choice(pool)
+        if target in self._pending:
+            return  # previous probe of this peer still in flight
+        self._seq += 1
+        seq = self._seq
+        self._pending[target] = seq
+        prober.ping(target)
+        self._timers[(target, seq)] = self.runtime.call_once(
+            self.config.probe_timeout, self._direct_timeout, target, seq
+        )
+
+    def _direct_timeout(self, target: str, seq: int) -> None:
+        self._timers.pop((target, seq), None)
+        if self._pending.get(target) != seq:
+            return  # acked (or refuted by a heartbeat) in the meantime
+        prober = self.prober
+        rng = self._rng
+        relays = [m for m in self._candidates() if m != target]
+        k = min(self.config.indirect_probes, len(relays))
+        if prober is None or rng is None or k == 0:
+            self._pending.pop(target, None)
+            self._suspect(target)
+            return
+        for relay in rng.sample(relays, k):
+            prober.ping_req(relay, target)
+        self._timers[(target, seq)] = self.runtime.call_once(
+            self.config.probe_timeout, self._indirect_timeout, target, seq
+        )
+
+    def _indirect_timeout(self, target: str, seq: int) -> None:
+        self._timers.pop((target, seq), None)
+        if self._pending.get(target) != seq:
+            return
+        self._pending.pop(target, None)
+        self._suspect(target)
+
+    def _suspect(self, target: str) -> None:
+        if target in self._suspects or target in self._declared:
+            return  # keep the earliest deadline; never re-arm per round
+        inc = self._incarnations.get(target, 0)
+        deadline = self.runtime.now + self.config.suspicion_timeout
+        self._suspects[target] = (inc, deadline)
+        self.runtime.emit("suspect", target=target, incarnation=inc)
+
+    def _promote_suspects(self, now: float) -> None:
+        """Expired suspicions become declarations (checked at query time)."""
+        expired = [t for t, (_, deadline) in self._suspects.items() if now >= deadline]
+        for target in expired:
+            inc, _ = self._suspects.pop(target)
+            self._declared[target] = inc
+            self.runtime.emit("suspect_expired", target=target, incarnation=inc)
+
+    # ------------------------------------------------------------------
+    # Evidence
+    # ------------------------------------------------------------------
+    def observe_heartbeat(
+        self, scope: Scope, peer_id: str, now: float, incarnation: int = 0
+    ) -> None:
+        self._last_heard[peer_id] = now
+        known = self._incarnations.get(peer_id)
+        if known is None or incarnation > known:
+            self._incarnations[peer_id] = incarnation
+        self._pending.pop(peer_id, None)
+        suspected = self._suspects.get(peer_id)
+        if suspected is not None and incarnation >= suspected[0]:
+            del self._suspects[peer_id]
+            self.runtime.emit("suspect_refuted", target=peer_id, incarnation=incarnation)
+        declared = self._declared.get(peer_id)
+        if declared is not None and incarnation >= declared:
+            # Direct proof of life beats our local declaration; a refuted
+            # node announces a bumped incarnation, but even a same-inc
+            # heartbeat is our own first-hand evidence, not a rumor.
+            del self._declared[peer_id]
+
+    def observe_ack(self, peer_id: str, now: float) -> None:
+        self._pending.pop(peer_id, None)
+        if peer_id in self._suspects:
+            del self._suspects[peer_id]
+            self.runtime.emit("suspect_refuted", target=peer_id, incarnation=-1)
+
+    def forget(self, peer_id: str, scope: Optional[Scope] = None) -> None:
+        self._pending.pop(peer_id, None)
+        self._suspects.pop(peer_id, None)
+        self._declared.pop(peer_id, None)
+        self._incarnations.pop(peer_id, None)
+        self._last_heard.pop(peer_id, None)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def silent_peers(
+        self, scope: Scope, group: "GroupState", now: float, timeout: float
+    ) -> List["PeerState"]:
+        self._promote_suspects(now)
+        declared = self._declared
+        return [
+            p
+            for p in group.peers.values()
+            if p.node_id in declared or now - p.last_heard > timeout
+        ]
+
+    def silent_ids(
+        self, scope: Scope, candidates: Sequence[str], now: float, timeout: float
+    ) -> List[str]:
+        self._promote_suspects(now)
+        declared = self._declared
+        last = self._last_heard
+        return [
+            nid
+            for nid in candidates
+            if nid in declared
+            or (lh := last.get(nid)) is not None
+            and now - lh > timeout
+        ]

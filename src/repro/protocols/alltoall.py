@@ -15,23 +15,60 @@ packets per period — the O(n²) aggregate traffic of Fig. 2/Fig. 11.
 
 from __future__ import annotations
 
+from typing import List
+
+from repro.detect import handle_probe_packet
 from repro.net.packet import Packet
 from repro.protocols.base import MembershipNode
 
-__all__ = ["AllToAllNode", "ALL_CHANNEL"]
+__all__ = ["AllToAllNode", "ALL_CHANNEL", "ALL_DETECT_PORT", "ALL_SCOPE"]
 
 #: The single cluster-wide multicast channel.
 ALL_CHANNEL = "all-to-all"
 
+#: Unicast port for active-detector probe traffic (bound only when the
+#: configured strategy probes; the default counter sends nothing).
+ALL_DETECT_PORT = "a2a-detect"
+
+#: The scheme's single liveness scope (it has no channel levels).
+ALL_SCOPE = "all"
+
 
 class AllToAllNode(MembershipNode):
     """One node of the all-to-all scheme."""
+
+    scheme = "all-to-all"
+
+    # ------------------------------------------------------------------
+    # Failure-detection seam
+    # ------------------------------------------------------------------
+    def _wire_detector(self) -> None:
+        from repro.detect import UnicastProber
+
+        self.detector.attach(
+            prober=UnicastProber(
+                self.runtime, ALL_DETECT_PORT, self.config.header_size
+            ),
+            members=self._probe_candidates,
+        )
+
+    def _probe_candidates(self) -> List[str]:
+        return [nid for nid in self.directory.members() if nid != self.node_id]
+
+    def _on_probe(self, packet: Packet) -> None:
+        if not self.running:
+            return
+        handle_probe_packet(
+            self.runtime, self.detector, packet, ALL_DETECT_PORT, self.config.header_size
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle hooks
     # ------------------------------------------------------------------
     def _on_start(self) -> None:
         self.runtime.subscribe(ALL_CHANNEL, self._on_packet)
+        if self.detector.uses_probes:
+            self.runtime.bind(ALL_DETECT_PORT, self._on_probe)
         # Desynchronise senders like real daemons started at different
         # moments; the offset is deterministic per (seed, node).
         phase = self.rng.uniform(0, self.config.heartbeat_period)
@@ -42,6 +79,8 @@ class AllToAllNode(MembershipNode):
 
     def _on_stop(self) -> None:
         self.runtime.unsubscribe(ALL_CHANNEL)
+        if self.detector.uses_probes:
+            self.runtime.unbind(ALL_DETECT_PORT)
 
     # ------------------------------------------------------------------
     # Announcer: periodic heartbeat multicast
@@ -64,9 +103,13 @@ class AllToAllNode(MembershipNode):
         if not self.running or packet.kind != "heartbeat":
             return
         record = packet.payload
+        now = self.runtime.now
         is_new = record.node_id not in self.directory
-        self.directory.upsert(record, self.runtime.now)
-        self.directory.refresh(record.node_id, self.runtime.now)
+        self.directory.upsert(record, now)
+        self.directory.refresh(record.node_id, now)
+        det = self.detector
+        if not det.passive:
+            det.observe_heartbeat(ALL_SCOPE, record.node_id, now, record.incarnation)
         if is_new:
             self._emit_member_up(record.node_id)
 
@@ -76,7 +119,12 @@ class AllToAllNode(MembershipNode):
     def _check_tick(self) -> None:
         if not self.running:
             return
-        dead = self.directory.purge_stale(self.runtime.now, self.config.fail_timeout)
+        # The counter strategy delegates straight to the directory's
+        # deadline-heap purge (the pre-refactor call, byte-identical);
+        # active strategies judge the member list themselves.
+        dead = self.detector.purge_directory(
+            ALL_SCOPE, self.directory, self.runtime.now, self.config.fail_timeout
+        )
         for node_id in dead:
             self._emit_member_down(node_id)
 

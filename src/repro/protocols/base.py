@@ -35,6 +35,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Type
 from repro.cluster.directory import Directory, NodeRecord
 from repro.cluster.machine import MachineInfo
 from repro.cluster.service import ServiceSpec
+from repro.detect import FailureDetector, make_detector
 from repro.net.network import Network
 from repro.runtime import NodeRuntime, SimRuntime
 
@@ -58,12 +59,43 @@ class ProtocolConfig:
     #: gossip-only: fan-out per round and mistake probability bound.
     gossip_fanout: int = 1
     gossip_mistake_prob: float = 0.001
+    #: failure-detection strategy (:mod:`repro.detect` registry name):
+    #: ``counter`` (the paper's MAX_LOSS deadline, default), ``swim``
+    #: (ping/ack + suspicion) or ``phi-accrual`` (adaptive threshold).
+    detector: str = "counter"
+    #: swim-only: probe round period, per-probe ack timeout, number of
+    #: indirect ping-req relays, and the suspicion-to-declaration delay.
+    probe_period: float = 1.0
+    probe_timeout: float = 0.5
+    indirect_probes: int = 3
+    suspicion_timeout: float = 2.0
+    #: phi-accrual-only: declaration threshold (φ = 1 ⇒ "90% sure dead",
+    #: each +1 another nine) and the inter-arrival window length.
+    phi_threshold: float = 8.0
+    phi_window: int = 32
     #: hierarchical-only knobs live in repro.core.config.HierarchicalConfig.
 
     @property
     def fail_timeout(self) -> float:
-        """Heartbeat-based declaration threshold: ``max_loss`` missed beats."""
+        """Counter deadline: ``max_loss`` missed beats.
+
+        This is the schemes' bookkeeping base unit (level timeouts,
+        tombstone quarantines, backstops all scale off it) — **not** the
+        advertised detection time, which depends on the active detector:
+        use :meth:`detection_time` for anything user-facing.
+        """
         return self.max_loss * self.heartbeat_period
+
+    def detection_time(self, n: int = 2, scheme: str = "hierarchical") -> float:
+        """Advertised detection bound of the configured detector.
+
+        Routed through :func:`repro.detect.bounds.detection_bound`, so
+        analysis plots stay truthful when the detector is not the
+        counter (the old hard-coded ``max_loss × heartbeat_period``).
+        """
+        from repro.detect.bounds import config_detection_bound
+
+        return config_detection_bound(self, n=n, scheme=scheme)
 
     def message_size(self, members: int) -> int:
         """Wire size of a packet describing ``members`` nodes."""
@@ -84,6 +116,12 @@ class MembershipNode(ABC):
     #: :class:`~repro.core.node.HierarchicalNode` exposes it per instance.
     #: Flip only before ``start()`` — the legacy path exists for A/B runs.
     use_fast_path: bool = True
+
+    #: Dissemination-scheme name as keyed in :data:`repro.analysis.models.
+    #: MODELS`; concrete nodes set it so detector bounds
+    #: (:func:`repro.detect.bounds.detection_bound`) can be quoted for the
+    #: right scheme by observers that only hold node objects.
+    scheme: str = "hierarchical"
 
     def __init__(
         self,
@@ -111,6 +149,11 @@ class MembershipNode(ABC):
             runtime if runtime is not None else SimRuntime(network, node_id)
         )
         self.rng = self.runtime.rng_stream(f"proto.{node_id}")
+        # The detection seam: the strategy named by ``config.detector``
+        # decides when silence becomes a death declaration.  Schemes
+        # attach their prober/membership ports in ``_wire_detector``.
+        self.detector: FailureDetector = make_detector(self.config, self.runtime)
+        self._wire_detector()
         self._self_record_cache: Optional[NodeRecord] = None
 
     # ------------------------------------------------------------------
@@ -179,6 +222,11 @@ class MembershipNode(ABC):
         self.running = True
         self.incarnation += 1
         self.runtime.activate()
+        # Detector first: its state must be clean before the scheme's
+        # reset hook replays initial observations (gossip's own counter).
+        # The default CounterDetector is inert here — no timers, no RNG —
+        # so the golden seeded traces are unchanged.
+        self.detector.start()
         self._reset_run_state()
         self.directory.clear()
         self.directory.upsert(self.self_record(), self.runtime.now)
@@ -191,12 +239,54 @@ class MembershipNode(ABC):
             return
         self.running = False
         self._on_stop()
+        self.detector.stop()
         self.runtime.deactivate()
         self.directory.clear()
 
     def _reset_run_state(self) -> None:
         """Hook: forget scheme state from a previous run (before the view
         is rebuilt).  Runs with ``running``/``incarnation`` already set."""
+
+    # ------------------------------------------------------------------
+    # Failure-detection seam
+    # ------------------------------------------------------------------
+    def _wire_detector(self) -> None:
+        """Hook: attach scheme ports (prober, members) to ``self.detector``.
+
+        Called from ``__init__`` (before scheme state exists — attach
+        closures, not snapshots) and again after every
+        :meth:`rebuild_detector`.
+        """
+
+    def rebuild_detector(self) -> None:
+        """Swap in a fresh detector built from the current ``config``.
+
+        Used by the control plane when ``detector`` or a detector knob
+        changes at runtime; safe mid-run — the old strategy's timers are
+        cancelled and the new one starts cold (it re-learns liveness from
+        the next observations, with the counter deadline as fallback).
+        """
+        was_running = self.running
+        if was_running:
+            self.detector.stop()
+        self.detector = make_detector(self.config, self.runtime)
+        self._wire_detector()
+        self._on_detector_rebuilt()
+        if was_running:
+            self.detector.start()
+
+    def _on_detector_rebuilt(self) -> None:
+        """Hook: scheme re-points any cached detector references."""
+
+    def apply_config(self, config: "ProtocolConfig") -> None:
+        """Adopt a new (replaced) config, rebuilding the detector.
+
+        The runtime control plane replaces the frozen config dataclass;
+        schemes that denormalise the config elsewhere override this to
+        re-point those references too.
+        """
+        self.config = config
+        self.rebuild_detector()
 
     @abstractmethod
     def _on_start(self) -> None:

@@ -27,12 +27,26 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Sequence
 
+from repro.detect import handle_probe_packet
 from repro.net.packet import Packet
 from repro.protocols.base import MembershipNode
 
-__all__ = ["GossipNode", "gossip_fail_time", "GOSSIP_PORT"]
+__all__ = [
+    "GossipNode",
+    "gossip_fail_time",
+    "GOSSIP_PORT",
+    "GOSSIP_DETECT_PORT",
+    "GOSSIP_SCOPE",
+]
 
 GOSSIP_PORT = "gossip"
+
+#: Unicast port for active-detector probe traffic (bound only when the
+#: configured strategy probes).
+GOSSIP_DETECT_PORT = "gossip-detect"
+
+#: The scheme's single liveness scope.
+GOSSIP_SCOPE = "gossip"
 
 
 def gossip_fail_time(
@@ -64,12 +78,16 @@ class GossipNode(MembershipNode):
         as real deployments do).
     """
 
+    scheme = "gossip"
+
     def __init__(self, *args, seeds: Sequence[str] = (), **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.seeds = [s for s in seeds if s != self.node_id]
-        # member -> (counter, local time of last counter increase)
+        # member -> heartbeat counter.  The *time of last counter
+        # increase* — gossip's freshness evidence — lives in the failure
+        # detector (scope :data:`GOSSIP_SCOPE`): the merge path reports
+        # every increase via ``observe_heartbeat``.
         self._counters: Dict[str, int] = {}
-        self._last_increase: Dict[str, float] = {}
         # dead list: member -> counter at declaration (anti-resurrection)
         self._dead: Dict[str, int] = {}
         self._dead_since: Dict[str, float] = {}
@@ -88,19 +106,59 @@ class GossipNode(MembershipNode):
 
     @property
     def t_cleanup(self) -> float:
-        return 2.0 * self.t_fail
+        # The dead list must outlive the *slowest* declaring node or a
+        # straggler's stale counters resurrect the victim cluster-wide.
+        # Under the counter strategy the detector bound IS t_fail (same
+        # formula), so this stays 2 x t_fail byte-for-byte; adaptive
+        # detectors stretch the quarantine to their advertised bound.
+        n = max(len(self._counters), len(self.seeds) + 1, 2)
+        return 2.0 * max(
+            self.t_fail, self.detector.detection_bound(n=n, scheme="gossip")
+        )
+
+    # ------------------------------------------------------------------
+    # Failure-detection seam
+    # ------------------------------------------------------------------
+    def _wire_detector(self) -> None:
+        from repro.detect import UnicastProber
+
+        self.detector.attach(
+            prober=UnicastProber(
+                self.runtime, GOSSIP_DETECT_PORT, self.config.header_size
+            ),
+            members=self._probe_candidates,
+        )
+
+    def _probe_candidates(self) -> List[str]:
+        pool = set(self._counters) | set(self.seeds)
+        pool.discard(self.node_id)
+        pool.difference_update(self._dead)
+        return sorted(pool)
+
+    def _on_probe(self, packet: Packet) -> None:
+        if not self.running:
+            return
+        handle_probe_packet(
+            self.runtime,
+            self.detector,
+            packet,
+            GOSSIP_DETECT_PORT,
+            self.config.header_size,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle hooks
     # ------------------------------------------------------------------
     def _reset_run_state(self) -> None:
         self._counters = {self.node_id: 0}
-        self._last_increase = {self.node_id: self.runtime.now}
+        self.detector.observe_heartbeat(GOSSIP_SCOPE, self.node_id, self.runtime.now)
         self._dead.clear()
         self._dead_since.clear()
 
     def _on_start(self) -> None:
         self.runtime.bind(GOSSIP_PORT, self._on_packet)
+        if self.detector.uses_probes:
+            self.runtime.bind(GOSSIP_DETECT_PORT, self._on_probe)
         phase = self.rng.uniform(0, self.config.heartbeat_period)
         self.runtime.call_every(
             self.config.heartbeat_period, self._gossip_tick, first_delay=phase
@@ -108,8 +166,9 @@ class GossipNode(MembershipNode):
 
     def _on_stop(self) -> None:
         self.runtime.unbind(GOSSIP_PORT)
+        if self.detector.uses_probes:
+            self.runtime.unbind(GOSSIP_DETECT_PORT)
         self._counters.clear()
-        self._last_increase.clear()
 
     # ------------------------------------------------------------------
     # Gossip round
@@ -119,7 +178,7 @@ class GossipNode(MembershipNode):
             return
         now = self.runtime.now
         self._counters[self.node_id] += 1
-        self._last_increase[self.node_id] = now
+        self.detector.observe_heartbeat(GOSSIP_SCOPE, self.node_id, now)
         self._expire(now)
         targets = self._pick_targets()
         if targets:
@@ -171,7 +230,13 @@ class GossipNode(MembershipNode):
             if known is None or counter > known:
                 is_new = nid not in self.directory
                 self._counters[nid] = counter
-                self._last_increase[nid] = now
+                # A counter increase is gossip's heartbeat observation.
+                self.detector.observe_heartbeat(
+                    GOSSIP_SCOPE,
+                    nid,
+                    now,
+                    record.incarnation if record is not None else 0,
+                )
                 if record is not None:
                     self.directory.upsert(record, now)
                     self.directory.refresh(nid, now)
@@ -183,15 +248,16 @@ class GossipNode(MembershipNode):
     # ------------------------------------------------------------------
     def _expire(self, now: float) -> None:
         t_fail = self.t_fail
-        for nid in list(self._counters):
-            if nid == self.node_id:
-                continue
-            if now - self._last_increase[nid] > t_fail:
-                self._dead[nid] = self._counters.pop(nid)
-                self._dead_since[nid] = now
-                del self._last_increase[nid]
-                if self.directory.remove(nid):
-                    self._emit_member_down(nid)
+        # Candidate order mirrors the pre-refactor scan (counter-map
+        # insertion order minus self); with the counter strategy the
+        # verdicts — and thus the traces — are byte-identical.
+        candidates = [nid for nid in self._counters if nid != self.node_id]
+        for nid in self.detector.silent_ids(GOSSIP_SCOPE, candidates, now, t_fail):
+            self._dead[nid] = self._counters.pop(nid)
+            self._dead_since[nid] = now
+            self.detector.forget(nid, GOSSIP_SCOPE)
+            if self.directory.remove(nid):
+                self._emit_member_down(nid)
         t_cleanup = self.t_cleanup
         for nid in list(self._dead):
             if now - self._dead_since[nid] > t_cleanup:

@@ -1,0 +1,179 @@
+"""Detector selection through every configuration surface.
+
+The strategy is a deployment knob, so it must be reachable the same
+three ways every other knob is: the ``*SYSTEM`` config file, the
+``REPRO_*`` environment overrides the daemon command honours, and the
+live ``control()`` call of the service API — and a non-default choice
+must survive a render/parse round trip.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.models import MODELS, AnalysisParams
+from repro.core import HierarchicalConfig, parse_config_text, render_config_text
+from repro.core.config import detector_overrides_from_env
+from repro.detect.bounds import LN10
+
+
+DETECTOR_BLOCK = """
+*SYSTEM
+DETECTOR = swim
+PROBE_PERIOD = 0.5
+PROBE_TIMEOUT = 0.25
+INDIRECT_PROBES = 2
+SUSPICION_TIMEOUT = 1.5
+PHI_THRESHOLD = 6.0
+PHI_WINDOW = 16
+"""
+
+
+class TestConfigFile:
+    def test_detector_keys_parse(self):
+        cfg, _ = parse_config_text(DETECTOR_BLOCK)
+        assert cfg.detector == "swim"
+        assert cfg.probe_period == 0.5
+        assert cfg.probe_timeout == 0.25
+        assert cfg.indirect_probes == 2
+        assert cfg.suspicion_timeout == 1.5
+        assert cfg.phi_threshold == 6.0
+        assert cfg.phi_window == 16
+
+    def test_detector_name_is_normalised(self):
+        cfg, _ = parse_config_text("*SYSTEM\nDETECTOR = Phi-Accrual\n")
+        assert cfg.detector == "phi-accrual"
+
+    def test_unknown_detector_rejected(self):
+        with pytest.raises(ValueError, match="DETECTOR"):
+            parse_config_text("*SYSTEM\nDETECTOR = psychic\n")
+
+    def test_non_default_detector_round_trips(self):
+        cfg, services = parse_config_text(DETECTOR_BLOCK)
+        cfg2, _ = parse_config_text(render_config_text(cfg, services))
+        assert cfg2 == cfg
+
+    def test_default_render_emits_no_detector_lines(self):
+        text = render_config_text(HierarchicalConfig(), [])
+        assert "DETECTOR" not in text
+        assert "PHI_" not in text
+
+
+class TestEnvOverrides:
+    def test_env_overrides_parse_and_convert(self):
+        overrides = detector_overrides_from_env(
+            {
+                "REPRO_DETECTOR": " SWIM ",
+                "REPRO_PROBE_PERIOD": "0.5",
+                "REPRO_INDIRECT_PROBES": "2",
+                "REPRO_PHI_THRESHOLD": "6.5",
+                "REPRO_PHI_WINDOW": "16",
+                "UNRELATED": "ignored",
+            }
+        )
+        assert overrides == {
+            "detector": "swim",
+            "probe_period": 0.5,
+            "indirect_probes": 2,
+            "phi_threshold": 6.5,
+            "phi_window": 16,
+        }
+
+    def test_empty_values_are_skipped(self):
+        assert detector_overrides_from_env({"REPRO_DETECTOR": ""}) == {}
+
+    def test_unknown_detector_rejected(self):
+        with pytest.raises(ValueError):
+            detector_overrides_from_env({"REPRO_DETECTOR": "psychic"})
+
+
+class TestDaemonFlags:
+    def test_daemon_parser_accepts_detector_knobs(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "daemon",
+                "--spec",
+                "cluster.json",
+                "--node",
+                "n0",
+                "--detector",
+                "phi-accrual",
+                "--phi-threshold",
+                "6",
+                "--probe-period",
+                "0.5",
+            ]
+        )
+        assert args.detector == "phi-accrual"
+        assert args.phi_threshold == 6.0
+        assert args.probe_period == 0.5
+
+    def test_daemon_parser_rejects_unknown_detector(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["daemon", "--detector", "psychic"])
+
+
+class TestServiceControl:
+    def make_service(self):
+        from repro.core import MService
+        from repro.net import Network
+        from repro.net.builders import build_switched_cluster
+
+        topo, hosts = build_switched_cluster(1, 2)
+        net = Network(topo, seed=1)
+        ms = MService(net, hosts[0])
+        ms.run()
+        return net, ms
+
+    def test_control_swaps_detector_live(self):
+        net, ms = self.make_service()
+        net.run(until=3.0)
+        assert ms.node.detector.name == "counter"
+        ms.control("detector", "swim")
+        assert ms.node.config.detector == "swim"
+        assert ms.node.detector.name == "swim"
+        assert ms.node.running
+        net.run(until=6.0)
+        ms.stop()
+        assert ms.node.runtime.live_timers == 0
+
+    def test_control_adjusts_detector_knobs(self):
+        net, ms = self.make_service()
+        ms.control("phi_threshold", 6.0)
+        ms.control("suspicion_timeout", 1.0)
+        assert ms.node.config.phi_threshold == 6.0
+        assert ms.node.config.suspicion_timeout == 1.0
+
+    def test_control_rejects_unknown_detector(self):
+        net, ms = self.make_service()
+        with pytest.raises(ValueError, match="psychic"):
+            ms.control("detector", "psychic")
+
+
+class TestAnalysisModels:
+    def test_detection_time_follows_the_detector(self):
+        counter = MODELS["hierarchical"](AnalysisParams())
+        phi = MODELS["hierarchical"](AnalysisParams(detector="phi-accrual"))
+        assert counter.detection_time(100) == 5.0  # k / f, the paper's bound
+        assert phi.detection_time(100) == pytest.approx(8.0 * LN10)
+
+    def test_default_params_reproduce_the_paper(self):
+        # The satellite bugfix: detection time routes through the bound,
+        # and the counter default still gives max_loss * period everywhere.
+        for name, model_cls in MODELS.items():
+            model = model_cls(AnalysisParams())
+            if name == "gossip":
+                assert model.detection_time(64) > 5.0  # O(log n) growth
+            else:
+                assert model.detection_time(64) == 5.0
+
+    def test_bdt_scales_with_detector_bound(self):
+        slow = MODELS["all-to-all"](AnalysisParams(detector="phi-accrual"))
+        fast = MODELS["all-to-all"](AnalysisParams(detector="swim"))
+        n = 50
+        assert slow.bdt(n) > fast.bdt(n)
+        assert slow.aggregate_bandwidth(n) == fast.aggregate_bandwidth(n)

@@ -11,11 +11,17 @@ callbacks churning forever.
 
 import pytest
 
+from repro.core.config import HierarchicalConfig
 from repro.metrics.experiment import make_scheme_cluster
+from repro.protocols.base import ProtocolConfig
 
 
-def make_nodes(scheme):
-    net, hosts, nodes = make_scheme_cluster(scheme, 2, 3, seed=11)
+def make_nodes(scheme, detector=None):
+    config = None
+    if detector is not None:
+        cls = HierarchicalConfig if scheme == "hierarchical" else ProtocolConfig
+        config = cls(detector=detector)
+    net, hosts, nodes = make_scheme_cluster(scheme, 2, 3, seed=11, config=config)
     return net, hosts, nodes
 
 
@@ -49,6 +55,58 @@ def test_restart_after_stop_rebuilds_timers(scheme):
     for host, node in nodes.items():
         if host != victim:
             assert node.knows(victim)
+
+
+@pytest.mark.parametrize("scheme", ["hierarchical", "all-to-all", "gossip"])
+@pytest.mark.parametrize("detector", ["swim", "phi-accrual"])
+def test_stop_with_active_detector_leaves_no_live_timers(scheme, detector):
+    # Active detectors own timers of their own (SWIM's probe rounds and
+    # per-probe timeouts); node.stop() must take those down too.
+    net, hosts, nodes = make_nodes(scheme, detector=detector)
+    net.run(until=7.3)
+    for node in nodes.values():
+        assert node.detector.name == detector
+        node.stop()
+        assert node.runtime.live_timers == 0
+    before = len(net.trace)
+    net.run(until=60.0)
+    assert len(net.trace) == before
+
+
+@pytest.mark.parametrize("scheme", ["hierarchical", "all-to-all", "gossip"])
+@pytest.mark.parametrize("detector", ["swim", "phi-accrual"])
+def test_restart_with_active_detector_rejoins(scheme, detector):
+    net, hosts, nodes = make_nodes(scheme, detector=detector)
+    net.run(until=5.0)
+    victim = hosts[0]
+    nodes[victim].stop()
+    assert nodes[victim].runtime.live_timers == 0
+    nodes[victim].start()
+    net.run(until=40.0)
+    for host, node in nodes.items():
+        if host != victim:
+            assert node.knows(victim)
+
+
+@pytest.mark.parametrize("scheme", ["hierarchical", "all-to-all", "gossip"])
+def test_rebuild_detector_swaps_strategy_mid_run(scheme):
+    # The service API's detector control rides this path: a running node
+    # swaps strategies without a restart and keeps ticking.
+    from dataclasses import replace
+
+    net, hosts, nodes = make_nodes(scheme)
+    net.run(until=5.0)
+    node = nodes[hosts[0]]
+    assert node.detector.name == "counter"
+    node.apply_config(replace(node.config, detector="swim"))
+    assert node.detector.name == "swim"
+    assert node.running
+    net.run(until=25.0)
+    for host, other in nodes.items():
+        if host != hosts[0]:
+            assert other.knows(hosts[0])
+    node.stop()
+    assert node.runtime.live_timers == 0
 
 
 @pytest.mark.parametrize("scheme", ["hierarchical", "all-to-all", "gossip"])
